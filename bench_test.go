@@ -1,0 +1,374 @@
+package incgraph_test
+
+// One testing.B benchmark per figure/table of the paper's evaluation
+// (Section 6), on scaled-down dataset simulations. Sub-benchmarks compare
+// the incremental algorithm (IncX), its unit-at-a-time variant (IncXn) and
+// the batch baseline (BLINKS / RPQ_NFA / Tarjan / VF2) at the figure's
+// representative operating point (|ΔG| = 10% of |G| unless the panel varies
+// something else). `go test -bench=. -benchmem` regenerates the whole set;
+// cmd/benchmark runs the full sweeps with all baselines.
+//
+// Incremental benchmarks use the apply/undo pattern: each iteration applies
+// ΔG and then its inverse, so the maintained state returns to the start
+// without untimed per-iteration rebuilds. One op therefore measures two
+// batch applications; the batch baselines recompute from a fixed updated
+// graph, so one op is one recomputation. Relative comparisons are
+// unaffected (halve the incremental numbers for absolute per-batch times).
+
+import (
+	"fmt"
+	"testing"
+
+	"incgraph"
+)
+
+// benchScale keeps `go test -bench=.` affordable; cmd/benchmark -scale
+// controls the full harness independently.
+const benchScale = 0.1
+
+func dataset(b *testing.B, name string, classScale float64) *incgraph.Graph {
+	b.Helper()
+	g, err := incgraph.Dataset(name, classScale*benchScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func deltaBatch(g *incgraph.Graph, pct int, seed int64) incgraph.Batch {
+	count := pct * g.NumEdges() / 100
+	if count < 1 {
+		count = 1
+	}
+	return incgraph.RandomUpdates(g, incgraph.UpdateSpec{
+		Count:       count,
+		InsertRatio: 0.5,
+		Locality:    1.0,
+		Seed:        seed,
+	})
+}
+
+// applyUndo is the incremental benchmark kernel.
+type applier func(incgraph.Batch) error
+
+func applyUndo(b *testing.B, fwd, rev incgraph.Batch, apply applier) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := apply(fwd); err != nil {
+			b.Fatal(err)
+		}
+		if err := apply(rev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- KWS panels: Fig. 8(a) dbpedia, 8(e) livej, 8(j) vary Q, 8(m) vary G.
+
+func benchKWS(b *testing.B, ds string, m, bound, pct int) {
+	g := dataset(b, ds, 1.0)
+	q, err := incgraph.RandomKWSQuery(g, m, bound, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := deltaBatch(g, pct, 3)
+	undo := batch.Inverse()
+	b.Run("IncKWS", func(b *testing.B) {
+		ix, err := incgraph.NewKWS(g.Clone(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := ix.Apply(bb); return err })
+	})
+	b.Run("IncKWSn", func(b *testing.B) {
+		ix, err := incgraph.NewKWS(g.Clone(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := ix.ApplyUnitwise(bb); return err })
+	})
+	b.Run("BLINKS", func(b *testing.B) {
+		h := g.Clone()
+		if err := h.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := incgraph.NewKWS(h.Clone(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig08a_KWS_dbpedia(b *testing.B) { benchKWS(b, "dbpedia", 3, 2, 10) }
+func BenchmarkFig08e_KWS_livej(b *testing.B)   { benchKWS(b, "livej", 3, 2, 10) }
+func BenchmarkFig08j_KWS_varyQ(b *testing.B) {
+	for _, mb := range [][2]int{{2, 1}, {4, 3}, {6, 5}} {
+		b.Run(fmt.Sprintf("m%d_b%d", mb[0], mb[1]), func(b *testing.B) {
+			benchKWS(b, "dbpedia", mb[0], mb[1], 10)
+		})
+	}
+}
+func BenchmarkFig08m_KWS_varyG(b *testing.B) {
+	for _, sc := range []float64{0.2, 0.6, 1.0} {
+		b.Run(fmt.Sprintf("scale%.1f", sc), func(b *testing.B) {
+			g, err := incgraph.Dataset("synthetic", sc*benchScale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := incgraph.RandomKWSQuery(g, 3, 2, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := deltaBatch(g, 15, 3)
+			ix, err := incgraph.NewKWS(g, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			applyUndo(b, batch, batch.Inverse(), func(bb incgraph.Batch) error { _, err := ix.Apply(bb); return err })
+		})
+	}
+}
+
+// ---- RPQ panels: Fig. 8(b) dbpedia, 8(f) livej, 8(k) vary Q, 8(n) vary G.
+
+func benchRPQ(b *testing.B, ds string, size, pct int) {
+	g := dataset(b, ds, 0.5)
+	ast, err := incgraph.RandomRPQQuery(g, size, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := deltaBatch(g, pct, 3)
+	undo := batch.Inverse()
+	b.Run("IncRPQ", func(b *testing.B) {
+		e, err := incgraph.NewRPQFromAst(g.Clone(), ast)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := e.Apply(bb); return err })
+	})
+	b.Run("IncRPQn", func(b *testing.B) {
+		e, err := incgraph.NewRPQFromAst(g.Clone(), ast)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := e.ApplyUnitwise(bb); return err })
+	})
+	b.Run("RPQNFA", func(b *testing.B) {
+		h := g.Clone()
+		if err := h.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := incgraph.NewRPQFromAst(h.Clone(), ast); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig08b_RPQ_dbpedia(b *testing.B) { benchRPQ(b, "dbpedia", 4, 10) }
+func BenchmarkFig08f_RPQ_livej(b *testing.B)   { benchRPQ(b, "livej", 4, 10) }
+func BenchmarkFig08k_RPQ_varyQ(b *testing.B) {
+	for _, size := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			benchRPQ(b, "dbpedia", size, 10)
+		})
+	}
+}
+func BenchmarkFig08n_RPQ_varyG(b *testing.B) {
+	for _, sc := range []float64{0.2, 0.6, 1.0} {
+		b.Run(fmt.Sprintf("scale%.1f", sc), func(b *testing.B) {
+			g, err := incgraph.Dataset("synthetic", 0.5*sc*benchScale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ast, err := incgraph.RandomRPQQuery(g, 4, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := deltaBatch(g, 15, 3)
+			e, err := incgraph.NewRPQFromAst(g, ast)
+			if err != nil {
+				b.Fatal(err)
+			}
+			applyUndo(b, batch, batch.Inverse(), func(bb incgraph.Batch) error { _, err := e.Apply(bb); return err })
+		})
+	}
+}
+
+// ---- SCC panels: Fig. 8(c) dbpedia, 8(g) livej, 8(i) synthetic,
+// 8(o) vary G.
+
+func benchSCC(b *testing.B, ds string, pct int) {
+	g := dataset(b, ds, 1.0)
+	batch := deltaBatch(g, pct, 3)
+	undo := batch.Inverse()
+	b.Run("IncSCC", func(b *testing.B) {
+		s := incgraph.NewSCC(g.Clone())
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := s.Apply(bb); return err })
+	})
+	b.Run("IncSCCn", func(b *testing.B) {
+		s := incgraph.NewSCC(g.Clone())
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := s.ApplyUnitwise(bb); return err })
+	})
+	b.Run("Tarjan", func(b *testing.B) {
+		h := g.Clone()
+		if err := h.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			incgraph.SCCOf(h)
+		}
+	})
+}
+
+func BenchmarkFig08c_SCC_dbpedia(b *testing.B)   { benchSCC(b, "dbpedia", 10) }
+func BenchmarkFig08g_SCC_livej(b *testing.B)     { benchSCC(b, "livej", 10) }
+func BenchmarkFig08i_SCC_synthetic(b *testing.B) { benchSCC(b, "synthetic", 10) }
+func BenchmarkFig08o_SCC_varyG(b *testing.B) {
+	for _, sc := range []float64{0.2, 0.6, 1.0} {
+		b.Run(fmt.Sprintf("scale%.1f", sc), func(b *testing.B) {
+			g, err := incgraph.Dataset("synthetic", sc*benchScale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := deltaBatch(g, 15, 3)
+			s := incgraph.NewSCC(g)
+			applyUndo(b, batch, batch.Inverse(), func(bb incgraph.Batch) error { _, err := s.Apply(bb); return err })
+		})
+	}
+}
+
+// ---- ISO panels: Fig. 8(d) dbpedia, 8(h) livej, 8(l) vary Q, 8(p) vary G.
+
+func benchISO(b *testing.B, ds string, vq, eq, dq, pct int) {
+	g := dataset(b, ds, 1.0)
+	p, err := incgraph.RandomISOPattern(g, vq, eq, dq, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := deltaBatch(g, pct, 3)
+	undo := batch.Inverse()
+	b.Run("IncISO", func(b *testing.B) {
+		ix := incgraph.NewISO(g.Clone(), p)
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := ix.Apply(bb); return err })
+	})
+	b.Run("IncISOn", func(b *testing.B) {
+		ix := incgraph.NewISO(g.Clone(), p)
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := ix.ApplyUnitwise(bb); return err })
+	})
+	b.Run("VF2", func(b *testing.B) {
+		h := g.Clone()
+		if err := h.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			incgraph.FindMatches(h, p, 0)
+		}
+	})
+}
+
+func BenchmarkFig08d_ISO_dbpedia(b *testing.B) { benchISO(b, "dbpedia", 4, 6, 2, 10) }
+func BenchmarkFig08h_ISO_livej(b *testing.B)   { benchISO(b, "livej", 4, 6, 2, 10) }
+func BenchmarkFig08l_ISO_varyQ(b *testing.B) {
+	for _, q := range [][3]int{{3, 5, 1}, {5, 7, 3}, {7, 9, 5}} {
+		b.Run(fmt.Sprintf("v%d_e%d_d%d", q[0], q[1], q[2]), func(b *testing.B) {
+			benchISO(b, "dbpedia", q[0], q[1], q[2], 10)
+		})
+	}
+}
+func BenchmarkFig08p_ISO_varyG(b *testing.B) {
+	for _, sc := range []float64{0.2, 0.6, 1.0} {
+		b.Run(fmt.Sprintf("scale%.1f", sc), func(b *testing.B) {
+			g, err := incgraph.Dataset("synthetic", sc*benchScale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := incgraph.RandomISOPattern(g, 4, 6, 2, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := deltaBatch(g, 15, 3)
+			ix := incgraph.NewISO(g, p)
+			applyUndo(b, batch, batch.Inverse(), func(bb incgraph.Batch) error { _, err := ix.Apply(bb); return err })
+		})
+	}
+}
+
+// ---- in-text tables: unit-update speedups and batching gains.
+
+func BenchmarkUnitUpdate(b *testing.B) {
+	g := dataset(b, "dbpedia", 1.0)
+	one := deltaBatch(g, 0, 5) // a single unit update
+	undo := one.Inverse()
+	q, err := incgraph.RandomKWSQuery(g, 3, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("KWS_inc", func(b *testing.B) {
+		ix, err := incgraph.NewKWS(g.Clone(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, one, undo, func(bb incgraph.Batch) error { _, err := ix.Apply(bb); return err })
+	})
+	b.Run("KWS_batch", func(b *testing.B) {
+		h := g.Clone()
+		if err := h.ApplyBatch(one); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := incgraph.NewKWS(h.Clone(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SCC_inc", func(b *testing.B) {
+		s := incgraph.NewSCC(g.Clone())
+		applyUndo(b, one, undo, func(bb incgraph.Batch) error { _, err := s.Apply(bb); return err })
+	})
+	b.Run("SCC_batch", func(b *testing.B) {
+		h := g.Clone()
+		if err := h.ApplyBatch(one); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			incgraph.SCCOf(h)
+		}
+	})
+}
+
+func BenchmarkBatchOpt(b *testing.B) {
+	// The "optimization strategies improve performance by 1.6x" table:
+	// grouped IncX vs unit-at-a-time IncXn at |ΔG| = 10%, KWS shown here;
+	// the full table comes from cmd/benchmark -fig opt.
+	g := dataset(b, "dbpedia", 1.0)
+	q, err := incgraph.RandomKWSQuery(g, 3, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := deltaBatch(g, 10, 3)
+	undo := batch.Inverse()
+	b.Run("grouped", func(b *testing.B) {
+		ix, err := incgraph.NewKWS(g.Clone(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := ix.Apply(bb); return err })
+	})
+	b.Run("unitwise", func(b *testing.B) {
+		ix, err := incgraph.NewKWS(g.Clone(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applyUndo(b, batch, undo, func(bb incgraph.Batch) error { _, err := ix.ApplyUnitwise(bb); return err })
+	})
+}

@@ -1,0 +1,46 @@
+// Command benchmark regenerates the paper's experimental figures and
+// tables. See DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incgraph/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated experiment IDs (8a..8p, unit, opt) or 'all'")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 = default bench size)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	points := flag.Int("points", 0, "truncate each sweep to N points (0 = full sweep)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Figures(), "\n"))
+		return
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, MaxPoints: *points}
+	ids := bench.Figures()
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	for _, id := range ids {
+		res, err := bench.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

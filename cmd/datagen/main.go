@@ -1,0 +1,83 @@
+// Command datagen writes workload graphs and update streams in the library
+// text formats, for use with cmd/incgraph or external tooling.
+//
+// Usage:
+//
+//	datagen -dataset dbpedia -scale 0.1 -seed 1 -out graph.txt
+//	datagen -graph graph.txt -updates 500 -ratio 0.5 -out du.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incgraph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "generate a graph: dbpedia, livej or synthetic")
+	scale := flag.Float64("scale", 1.0, "dataset scale")
+	graphPath := flag.String("graph", "", "generate updates against this graph file instead")
+	updates := flag.Int("updates", 0, "number of unit updates to generate")
+	ratio := flag.Float64("ratio", 0.5, "insertion fraction (0.5 = paper's ρ=1)")
+	locality := flag.Float64("locality", 0.9, "fraction of insertions that are 2-hop shortcuts")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	if err := run(*dataset, *scale, *graphPath, *updates, *ratio, *locality, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, graphPath string, updates int, ratio, locality float64, seed int64, out string) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case dataset != "":
+		g, err := incgraph.Dataset(dataset, scale, seed)
+		if err != nil {
+			return err
+		}
+		return incgraph.WriteGraph(w, g)
+	case graphPath != "":
+		if updates <= 0 {
+			return fmt.Errorf("-updates must be positive")
+		}
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		g, err := incgraph.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		batch := incgraph.RandomUpdates(g, incgraph.UpdateSpec{
+			Count: updates, InsertRatio: ratio, Locality: locality, Seed: seed,
+		})
+		for _, u := range batch {
+			var err error
+			if u.Op == incgraph.OpInsert {
+				_, err = fmt.Fprintf(w, "+ %d %d %s %s\n", u.From, u.To, u.FromLabel, u.ToLabel)
+			} else {
+				_, err = fmt.Fprintf(w, "- %d %d\n", u.From, u.To)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("need -dataset or -graph; see -h")
+	}
+}

@@ -1,0 +1,48 @@
+// Package incgraph is a Go implementation of the incremental graph
+// computations of Fan, Hu & Tian, "Incremental Graph Computations: Doable
+// and Undoable" (SIGMOD 2017).
+//
+// The paper shows that the incremental problems for four common graph query
+// classes — regular path queries (RPQ), strongly connected components
+// (SCC), keyword search (KWS) and subgraph isomorphism (ISO) — are
+// unbounded: no incremental algorithm can run in time polynomial in the
+// size of the changes alone. It then shows the situation is not hopeless,
+// via two weaker-but-practical guarantees, and this library implements all
+// of the corresponding algorithms:
+//
+//   - KWS and ISO are localizable: IncKWS and IncISO touch only the
+//     d_Q-neighborhood of the updated edges (Section 4).
+//   - RPQ and SCC are relatively bounded: IncRPQ and IncSCC touch only the
+//     affected area AFF of their batch algorithms RPQ_NFA and Tarjan
+//     (Section 5).
+//
+// The facade in this package re-exports the library's types and
+// constructors; the implementations live in internal packages:
+//
+//	internal/graph      directed labeled graphs and the update model
+//	internal/kws        keyword search: batch build + IncKWS±/IncKWS
+//	internal/rex        regular path expressions and the Glushkov NFA
+//	internal/rpq        RPQ_NFA and IncRPQ over pmark_e markings
+//	internal/scc        Tarjan, contracted graph, ranks, IncSCC±/IncSCC
+//	internal/iso        VF2 and the localizable IncISO
+//	internal/reach      SSRP (the unboundedness anchor)
+//	internal/reduction  executable ∆-reductions from the Theorem 1 proofs
+//	internal/gen        dataset simulators, update and query generators
+//	internal/bench      the harness that regenerates the paper's figures
+//
+// A minimal session:
+//
+//	g := incgraph.NewGraph()
+//	g.AddNode(1, "paper")
+//	g.AddNode(2, "author")
+//	g.AddEdge(1, 2)
+//
+//	e, _ := incgraph.NewRPQ(g, "paper.author")
+//	_ = e.Matches() // [(1,2)]
+//
+//	delta, _ := e.Apply(incgraph.Batch{incgraph.Del(1, 2)})
+//	_ = delta.Removed // [(1,2)]
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package incgraph

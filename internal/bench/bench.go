@@ -1,0 +1,213 @@
+// Package bench is the experiment harness of Section 6: it regenerates
+// every panel of Figure 8 plus the in-text unit-update and batch-
+// optimization tables, on the scaled dataset simulations of internal/gen
+// (see DESIGN.md §4 for the experiment index and §5 for the scaling
+// rationale). Absolute times differ from the paper's Java/EC2 numbers; the
+// reproduced claims are the shapes: who wins, by what factor, and where
+// the incremental/batch crossover falls.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"incgraph/internal/graph"
+)
+
+// Series is one line of a figure: a time measurement per x point.
+type Series struct {
+	Name    string
+	Seconds []float64
+}
+
+// Result is one reproduced figure or table.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	X      []string
+	Series []Series
+	// Notes carries derived observations (speedups, crossovers).
+	Notes []string
+}
+
+// Config tunes a harness run.
+type Config struct {
+	// Scale multiplies the default dataset sizes (1.0 = default bench
+	// size; the paper's graphs are 2–3 orders of magnitude larger).
+	Scale float64
+	// Seed drives all generators.
+	Seed int64
+	// MaxPoints truncates the sweep for quick runs (0 = all points).
+	MaxPoints int
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// clip truncates a sweep to cfg.MaxPoints.
+func clip[T any](cfg Config, xs []T) []T {
+	if cfg.MaxPoints > 0 && len(xs) > cfg.MaxPoints {
+		return xs[:cfg.MaxPoints]
+	}
+	return xs
+}
+
+// timed measures one run of fn.
+func timed(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}
+
+// deltaPcts is the |ΔG| sweep of Exp-1: 5%..40% of |G|.
+var deltaPcts = []int{5, 10, 15, 20, 25, 30, 35, 40}
+
+// pctBatches prepares one update batch per percentage point.
+func pctBatches(g *graph.Graph, pcts []int, seed int64) []graph.Batch {
+	out := make([]graph.Batch, len(pcts))
+	for i, p := range pcts {
+		out[i] = updates(g, p*g.NumEdges()/100, seed+int64(i))
+	}
+	return out
+}
+
+// runner abstracts "build state on a copy of g, then measure applying the
+// batch" for one algorithm variant.
+type runner struct {
+	name string
+	// run builds whatever state it needs from a clone of g (untimed parts
+	// included in its own accounting) and returns the seconds spent on the
+	// measured phase only.
+	run func(g *graph.Graph, batch graph.Batch) (float64, error)
+}
+
+// sweep executes all runners over all batches against the same base graph.
+func sweep(g *graph.Graph, batches []graph.Batch, runners []runner) ([]Series, error) {
+	out := make([]Series, len(runners))
+	for i, r := range runners {
+		out[i] = Series{Name: r.name, Seconds: make([]float64, len(batches))}
+	}
+	for j, b := range batches {
+		for i, r := range runners {
+			secs, err := r.run(g, b)
+			if err != nil {
+				return nil, fmt.Errorf("%s at point %d: %w", r.name, j, err)
+			}
+			out[i].Seconds[j] = secs
+		}
+	}
+	return out, nil
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for i, x := range r.X {
+		row := []string{x}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.4fs", s.Seconds[i]))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+			b.WriteString(cell)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// crossNote derives the paper-style observations from two series: average
+// speedup over the sweep and the crossover point where the incremental
+// algorithm stops winning.
+func crossNote(x []string, inc, batch Series) string {
+	speedAt := func(i int) float64 {
+		if inc.Seconds[i] == 0 {
+			return 0
+		}
+		return batch.Seconds[i] / inc.Seconds[i]
+	}
+	cross := "none within sweep"
+	for i := range x {
+		if speedAt(i) < 1 {
+			cross = x[i]
+			break
+		}
+	}
+	var tot float64
+	for i := range x {
+		tot += speedAt(i)
+	}
+	return fmt.Sprintf("%s vs %s: avg speedup %.1fx, first loss at %s",
+		inc.Name, batch.Name, tot/float64(len(x)), cross)
+}
+
+// Figures lists the available experiment IDs in order.
+func Figures() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID ("8a".."8p", "unit", "opt").
+func Run(id string, cfg Config) (*Result, error) {
+	fn, ok := registry[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Figures(), ", "))
+	}
+	return fn(cfg)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range Figures() {
+		res, err := Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.Format(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package cost provides work meters that the incremental algorithms report
+// into. The meters turn the paper's complexity claims into testable
+// assertions:
+//
+//   - Localizability (Section 4): the cost of IncKWS / IncISO is a function
+//     of |Q| and the d_Q-neighborhoods of ΔG only. Tests grow |G| with
+//     ballast far away from ΔG and assert the meter does not move.
+//   - Relative boundedness (Section 5): the cost of IncRPQ / IncSCC is a
+//     polynomial in |ΔG|, |Q| and |AFF|. Tests compare the meter against
+//     the measured |AFF| rather than |G|.
+//
+// A nil *Meter is valid everywhere and records nothing, so production code
+// paths pay a single nil check.
+package cost
+
+import "fmt"
+
+// Meter accumulates abstract work units. Counters are plain ints; the
+// library is single-goroutine per operation, and callers that share a meter
+// across goroutines must synchronize externally.
+type Meter struct {
+	// Nodes counts node visits (dequeues, DFS pops, mark inspections).
+	Nodes int
+	// Edges counts edge traversals (successor/predecessor scans).
+	Edges int
+	// Entries counts auxiliary-structure entries touched (kdist entries,
+	// pmark entries, num/lowlink updates, rank changes).
+	Entries int
+	// HeapOps counts priority-queue pushes, pops and decrease-keys.
+	HeapOps int
+}
+
+// AddNodes records n node visits.
+func (m *Meter) AddNodes(n int) {
+	if m != nil {
+		m.Nodes += n
+	}
+}
+
+// AddEdges records n edge traversals.
+func (m *Meter) AddEdges(n int) {
+	if m != nil {
+		m.Edges += n
+	}
+}
+
+// AddEntries records n auxiliary entries touched.
+func (m *Meter) AddEntries(n int) {
+	if m != nil {
+		m.Entries += n
+	}
+}
+
+// AddHeapOps records n priority-queue operations.
+func (m *Meter) AddHeapOps(n int) {
+	if m != nil {
+		m.HeapOps += n
+	}
+}
+
+// Total returns the sum of all counters: a single scalar proxy for work.
+func (m *Meter) Total() int {
+	if m == nil {
+		return 0
+	}
+	return m.Nodes + m.Edges + m.Entries + m.HeapOps
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	if m != nil {
+		*m = Meter{}
+	}
+}
+
+// String formats the counters.
+func (m *Meter) String() string {
+	if m == nil {
+		return "cost{nil}"
+	}
+	return fmt.Sprintf("cost{nodes=%d edges=%d entries=%d heap=%d total=%d}",
+		m.Nodes, m.Edges, m.Entries, m.HeapOps, m.Total())
+}

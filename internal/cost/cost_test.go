@@ -1,0 +1,42 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.AddNodes(5)
+	m.AddEdges(5)
+	m.AddEntries(5)
+	m.AddHeapOps(5)
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatalf("nil meter total = %d", m.Total())
+	}
+	if m.String() != "cost{nil}" {
+		t.Fatalf("nil meter string = %q", m.String())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := &Meter{}
+	m.AddNodes(1)
+	m.AddEdges(2)
+	m.AddEntries(3)
+	m.AddHeapOps(4)
+	if m.Nodes != 1 || m.Edges != 2 || m.Entries != 3 || m.HeapOps != 4 {
+		t.Fatalf("counters = %+v", m)
+	}
+	if m.Total() != 10 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if !strings.Contains(m.String(), "total=10") {
+		t.Fatalf("string = %q", m.String())
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatalf("reset failed: %+v", m)
+	}
+}

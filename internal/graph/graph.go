@@ -1,0 +1,330 @@
+// Package graph provides the directed, node-labeled graph substrate used by
+// every query class in this library.
+//
+// Graphs follow the model of Fan, Hu and Tian, "Incremental Graph
+// Computations: Doable and Undoable" (SIGMOD 2017), Section 2: a graph
+// G = (V, E, l) has a finite node set V, an edge set E ⊆ V × V, and a label
+// l(v) on every node. Edges are unlabeled; all query semantics (RPQ strings,
+// KWS keywords, ISO label equality) read node labels.
+//
+// The representation keeps both out- and in-adjacency as hash sets so that
+// the unit updates of the incremental model — edge insertion (possibly with
+// new nodes) and edge deletion — are O(1), and so that incremental
+// algorithms can walk predecessors as cheaply as successors.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are arbitrary; they need not be dense.
+type NodeID int64
+
+// Edge is a directed edge from From to To.
+type Edge struct {
+	From, To NodeID
+}
+
+// Graph is a directed graph with string-labeled nodes.
+// The zero value is not usable; call New.
+type Graph struct {
+	labels map[NodeID]string
+	out    map[NodeID]map[NodeID]struct{}
+	in     map[NodeID]map[NodeID]struct{}
+	edges  int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		labels: make(map[NodeID]string),
+		out:    make(map[NodeID]map[NodeID]struct{}),
+		in:     make(map[NodeID]map[NodeID]struct{}),
+	}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// HasNode reports whether v exists.
+func (g *Graph) HasNode(v NodeID) bool {
+	_, ok := g.labels[v]
+	return ok
+}
+
+// Label returns the label of v, or "" if v does not exist.
+func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+
+// AddNode inserts node v with the given label. Adding an existing node
+// relabels it.
+func (g *Graph) AddNode(v NodeID, label string) {
+	if _, ok := g.labels[v]; !ok {
+		g.out[v] = make(map[NodeID]struct{})
+		g.in[v] = make(map[NodeID]struct{})
+	}
+	g.labels[v] = label
+}
+
+// EnsureNode inserts v with label only if v does not already exist, and
+// reports whether it was inserted.
+func (g *Graph) EnsureNode(v NodeID, label string) bool {
+	if g.HasNode(v) {
+		return false
+	}
+	g.AddNode(v, label)
+	return true
+}
+
+// HasEdge reports whether edge (v, w) exists.
+func (g *Graph) HasEdge(v, w NodeID) bool {
+	succ, ok := g.out[v]
+	if !ok {
+		return false
+	}
+	_, ok = succ[w]
+	return ok
+}
+
+// AddEdge inserts edge (v, w). Both endpoints must exist. It reports whether
+// the edge was new.
+func (g *Graph) AddEdge(v, w NodeID) bool {
+	if !g.HasNode(v) || !g.HasNode(w) {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d): endpoint missing", v, w))
+	}
+	if g.HasEdge(v, w) {
+		return false
+	}
+	g.out[v][w] = struct{}{}
+	g.in[w][v] = struct{}{}
+	g.edges++
+	return true
+}
+
+// DeleteEdge removes edge (v, w) and reports whether it existed.
+// Endpoint nodes are retained even if they become isolated.
+func (g *Graph) DeleteEdge(v, w NodeID) bool {
+	if !g.HasEdge(v, w) {
+		return false
+	}
+	delete(g.out[v], w)
+	delete(g.in[w], v)
+	g.edges--
+	return true
+}
+
+// DeleteNode removes node v together with all incident edges, and reports
+// whether it existed.
+func (g *Graph) DeleteNode(v NodeID) bool {
+	if !g.HasNode(v) {
+		return false
+	}
+	for w := range g.out[v] {
+		delete(g.in[w], v)
+		g.edges--
+	}
+	for u := range g.in[v] {
+		// A self-loop was already discounted via the out map.
+		if u == v {
+			continue
+		}
+		delete(g.out[u], v)
+		g.edges--
+	}
+	delete(g.out, v)
+	delete(g.in, v)
+	delete(g.labels, v)
+	return true
+}
+
+// OutDegree returns the number of successors of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Successors calls fn for every successor of v until fn returns false.
+// Iteration order is unspecified.
+func (g *Graph) Successors(v NodeID, fn func(w NodeID) bool) {
+	for w := range g.out[v] {
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+// Predecessors calls fn for every predecessor of v until fn returns false.
+// Iteration order is unspecified.
+func (g *Graph) Predecessors(v NodeID, fn func(u NodeID) bool) {
+	for u := range g.in[v] {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// SuccessorsSorted returns the successors of v in ascending NodeID order.
+// Algorithms that need the paper's "predefined order" tie-break use this.
+func (g *Graph) SuccessorsSorted(v NodeID) []NodeID {
+	ws := make([]NodeID, 0, len(g.out[v]))
+	for w := range g.out[v] {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	return ws
+}
+
+// PredecessorsSorted returns the predecessors of v in ascending NodeID order.
+func (g *Graph) PredecessorsSorted(v NodeID) []NodeID {
+	us := make([]NodeID, 0, len(g.in[v]))
+	for u := range g.in[v] {
+		us = append(us, u)
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	return us
+}
+
+// Nodes calls fn for every node until fn returns false.
+// Iteration order is unspecified.
+func (g *Graph) Nodes(fn func(v NodeID, label string) bool) {
+	for v, l := range g.labels {
+		if !fn(v, l) {
+			return
+		}
+	}
+}
+
+// NodesSorted returns all node IDs in ascending order.
+func (g *Graph) NodesSorted() []NodeID {
+	vs := make([]NodeID, 0, len(g.labels))
+	for v := range g.labels {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Edges calls fn for every edge until fn returns false.
+func (g *Graph) Edges(fn func(e Edge) bool) {
+	for v, succ := range g.out {
+		for w := range succ {
+			if !fn(Edge{v, w}) {
+				return
+			}
+		}
+	}
+}
+
+// EdgesSorted returns all edges ordered by (From, To).
+func (g *Graph) EdgesSorted() []Edge {
+	es := make([]Edge, 0, g.edges)
+	g.Edges(func(e Edge) bool { es = append(es, e); return true })
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// NodesWithLabel returns the IDs of all nodes labeled label, sorted.
+func (g *Graph) NodesWithLabel(label string) []NodeID {
+	var vs []NodeID
+	for v, l := range g.labels {
+		if l == label {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: make(map[NodeID]string, len(g.labels)),
+		out:    make(map[NodeID]map[NodeID]struct{}, len(g.out)),
+		in:     make(map[NodeID]map[NodeID]struct{}, len(g.in)),
+		edges:  g.edges,
+	}
+	for v, l := range g.labels {
+		c.labels[v] = l
+	}
+	for v, set := range g.out {
+		m := make(map[NodeID]struct{}, len(set))
+		for w := range set {
+			m[w] = struct{}{}
+		}
+		c.out[v] = m
+	}
+	for v, set := range g.in {
+		m := make(map[NodeID]struct{}, len(set))
+		for w := range set {
+			m[w] = struct{}{}
+		}
+		c.in[v] = m
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph of g induced by the node set keep:
+// its nodes are keep ∩ V and its edges are every edge of g with both
+// endpoints in keep (Section 2 of the paper).
+func (g *Graph) InducedSubgraph(keep map[NodeID]bool) *Graph {
+	s := New()
+	for v := range keep {
+		if keep[v] && g.HasNode(v) {
+			s.AddNode(v, g.labels[v])
+		}
+	}
+	s.Nodes(func(v NodeID, _ string) bool {
+		for w := range g.out[v] {
+			if s.HasNode(w) {
+				s.AddEdge(v, w)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// MaxNodeID returns the largest node ID in g, or -1 if g is empty.
+// Generators use it to mint fresh IDs.
+func (g *Graph) MaxNodeID() NodeID {
+	max := NodeID(-1)
+	for v := range g.labels {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Equal reports whether g and h have identical node sets, labels and edges.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for v, l := range g.labels {
+		if hl, ok := h.labels[v]; !ok || hl != l {
+			return false
+		}
+	}
+	for v, succ := range g.out {
+		for w := range succ {
+			if !h.HasEdge(v, w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a compact human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d}", g.NumNodes(), g.NumEdges())
+}

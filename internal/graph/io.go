@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a small line-oriented text format so that the CLI
+// tools and examples can persist graphs:
+//
+//	# comment
+//	n <id> <label>
+//	e <from> <to>
+//
+// Node lines must precede edge lines that use them.
+
+// Write serializes g in the text format, nodes then edges, in sorted order
+// so output is deterministic.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range g.NodesSorted() {
+		if _, err := fmt.Fprintf(bw, "n %d %s\n", v, g.Label(v)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.EdgesSorted() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: bad node line %q", lineNo, line)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id: %v", lineNo, err)
+			}
+			label := ""
+			if len(fields) >= 3 {
+				label = fields[2]
+			}
+			g.AddNode(NodeID(id), label)
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: bad edge line %q", lineNo, line)
+			}
+			from, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge source: %v", lineNo, err)
+			}
+			to, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge target: %v", lineNo, err)
+			}
+			if !g.HasNode(NodeID(from)) || !g.HasNode(NodeID(to)) {
+				return nil, fmt.Errorf("graph: line %d: edge references undeclared node", lineNo)
+			}
+			g.AddEdge(NodeID(from), NodeID(to))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

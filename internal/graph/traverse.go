@@ -1,0 +1,186 @@
+package graph
+
+import "sort"
+
+// This file contains the traversal primitives shared by the batch and
+// incremental algorithms: directed and undirected BFS, d-hop neighborhoods
+// (Section 4.1 of the paper), and reachability probes.
+
+// BFSFrom performs a breadth-first search over directed edges starting at
+// the given sources (distance 0). fn is called once per reached node with
+// its hop distance; returning false prunes expansion below that node.
+func (g *Graph) BFSFrom(sources []NodeID, fn func(v NodeID, dist int) bool) {
+	seen := make(map[NodeID]bool, len(sources))
+	type item struct {
+		v NodeID
+		d int
+	}
+	queue := make([]item, 0, len(sources))
+	for _, s := range sources {
+		if !g.HasNode(s) || seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue, item{s, 0})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if !fn(it.v, it.d) {
+			continue
+		}
+		for w := range g.out[it.v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, item{w, it.d + 1})
+			}
+		}
+	}
+}
+
+// ReverseBFSFrom is BFSFrom following edges backwards (predecessors).
+func (g *Graph) ReverseBFSFrom(sources []NodeID, fn func(v NodeID, dist int) bool) {
+	seen := make(map[NodeID]bool, len(sources))
+	type item struct {
+		v NodeID
+		d int
+	}
+	queue := make([]item, 0, len(sources))
+	for _, s := range sources {
+		if !g.HasNode(s) || seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue, item{s, 0})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if !fn(it.v, it.d) {
+			continue
+		}
+		for u := range g.in[it.v] {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, item{u, it.d + 1})
+			}
+		}
+	}
+}
+
+// Reaches reports whether there is a directed path from v to w.
+func (g *Graph) Reaches(v, w NodeID) bool {
+	if !g.HasNode(v) || !g.HasNode(w) {
+		return false
+	}
+	found := false
+	g.BFSFrom([]NodeID{v}, func(x NodeID, _ int) bool {
+		if x == w {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// NeighborhoodNodes returns V_d(seeds): every node within d hops of some
+// seed when g is taken as an undirected graph (Section 4.1). Seeds that are
+// not in g are ignored. The result maps each reached node to its undirected
+// hop distance from the nearest seed.
+func (g *Graph) NeighborhoodNodes(seeds []NodeID, d int) map[NodeID]int {
+	dist := make(map[NodeID]int, len(seeds))
+	type item struct {
+		v NodeID
+		d int
+	}
+	var queue []item
+	for _, s := range seeds {
+		if !g.HasNode(s) {
+			continue
+		}
+		if _, ok := dist[s]; ok {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, item{s, 0})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.d == d {
+			continue
+		}
+		expand := func(w NodeID) bool {
+			if _, ok := dist[w]; !ok {
+				dist[w] = it.d + 1
+				queue = append(queue, item{w, it.d + 1})
+			}
+			return true
+		}
+		g.Successors(it.v, expand)
+		g.Predecessors(it.v, expand)
+	}
+	return dist
+}
+
+// Neighborhood returns G_d(seeds): the subgraph induced by V_d(seeds).
+// For a single seed v this is the d-neighbor G_d(v) of the paper.
+func (g *Graph) Neighborhood(seeds []NodeID, d int) *Graph {
+	nodes := g.NeighborhoodNodes(seeds, d)
+	keep := make(map[NodeID]bool, len(nodes))
+	for v := range nodes {
+		keep[v] = true
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// ShortestDist returns the hop length of a shortest directed path from v to
+// w, or -1 if w is unreachable from v.
+func (g *Graph) ShortestDist(v, w NodeID) int {
+	res := -1
+	g.BFSFrom([]NodeID{v}, func(x NodeID, d int) bool {
+		if x == w {
+			res = d
+			return false
+		}
+		return true
+	})
+	return res
+}
+
+// UndirectedComponents returns the weakly connected components of g,
+// each as a sorted slice of node IDs, ordered by their smallest member.
+func (g *Graph) UndirectedComponents() [][]NodeID {
+	seen := make(map[NodeID]bool, g.NumNodes())
+	var comps [][]NodeID
+	for _, start := range g.NodesSorted() {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			grow := func(w NodeID) bool {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+				return true
+			}
+			g.Successors(v, grow)
+			g.Predecessors(v, grow)
+		}
+		sortNodeIDs(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func sortNodeIDs(vs []NodeID) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is the kind of a unit update.
+type Op int8
+
+// Unit update kinds of the incremental model (Section 2.2): edge insertion
+// (possibly with new nodes) and edge deletion.
+const (
+	Insert Op = iota
+	Delete
+)
+
+func (op Op) String() string {
+	switch op {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", int8(op))
+	}
+}
+
+// Update is a unit update to a graph. For insertions, FromLabel/ToLabel give
+// the labels for endpoints that do not yet exist ("possibly with new
+// nodes"); they are ignored for endpoints already present and for deletions.
+type Update struct {
+	Op        Op
+	From, To  NodeID
+	FromLabel string
+	ToLabel   string
+}
+
+// Ins returns an edge-insertion update between existing nodes.
+func Ins(v, w NodeID) Update { return Update{Op: Insert, From: v, To: w} }
+
+// InsNew returns an edge-insertion update carrying labels for endpoints that
+// may be new.
+func InsNew(v, w NodeID, vl, wl string) Update {
+	return Update{Op: Insert, From: v, To: w, FromLabel: vl, ToLabel: wl}
+}
+
+// Del returns an edge-deletion update.
+func Del(v, w NodeID) Update { return Update{Op: Delete, From: v, To: w} }
+
+func (u Update) String() string {
+	return fmt.Sprintf("%s(%d,%d)", u.Op, u.From, u.To)
+}
+
+// Edge returns the edge the update touches.
+func (u Update) Edge() Edge { return Edge{u.From, u.To} }
+
+// Batch is a batch update ΔG: a sequence of unit updates.
+type Batch []Update
+
+// Split partitions a batch into insertions ΔG+ and deletions ΔG−,
+// preserving order within each class.
+func (b Batch) Split() (ins, del Batch) {
+	for _, u := range b {
+		if u.Op == Insert {
+			ins = append(ins, u)
+		} else {
+			del = append(del, u)
+		}
+	}
+	return ins, del
+}
+
+// Normalize removes no-op pairs: the paper assumes w.l.o.g. that ΔG never
+// both deletes and inserts the same edge. For a sequentially valid batch,
+// the updates touching one edge alternate, so the net effect is determined
+// by the first and last update on that edge: if they have the same op the
+// last one is kept, otherwise they cancel and every update on that edge is
+// dropped.
+func (b Batch) Normalize() Batch {
+	first := make(map[Edge]Op, len(b))
+	last := make(map[Edge]int, len(b))
+	for i, u := range b {
+		if _, ok := first[u.Edge()]; !ok {
+			first[u.Edge()] = u.Op
+		}
+		last[u.Edge()] = i
+	}
+	out := make(Batch, 0, len(last))
+	for i, u := range b {
+		if last[u.Edge()] == i && first[u.Edge()] == u.Op {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// TouchedNodes returns the set of nodes appearing as an endpoint of any
+// update in the batch. These are the seeds of d_Q-neighborhood localization.
+func (b Batch) TouchedNodes() map[NodeID]bool {
+	set := make(map[NodeID]bool, 2*len(b))
+	for _, u := range b {
+		set[u.From] = true
+		set[u.To] = true
+	}
+	return set
+}
+
+// ErrBadUpdate reports an update that cannot be applied.
+var ErrBadUpdate = errors.New("graph: update cannot be applied")
+
+// Apply applies a unit update to g. Inserting an edge creates missing
+// endpoints using the update's labels. Applying an insertion of an existing
+// edge or a deletion of a missing edge returns ErrBadUpdate.
+func (g *Graph) Apply(u Update) error {
+	switch u.Op {
+	case Insert:
+		g.EnsureNode(u.From, u.FromLabel)
+		g.EnsureNode(u.To, u.ToLabel)
+		if !g.AddEdge(u.From, u.To) {
+			return fmt.Errorf("%w: insert of existing edge (%d,%d)", ErrBadUpdate, u.From, u.To)
+		}
+	case Delete:
+		if !g.DeleteEdge(u.From, u.To) {
+			return fmt.Errorf("%w: delete of missing edge (%d,%d)", ErrBadUpdate, u.From, u.To)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %v", ErrBadUpdate, u.Op)
+	}
+	return nil
+}
+
+// ApplyBatch applies every update of ΔG in order, producing G ⊕ ΔG.
+// It stops at the first inapplicable update.
+func (g *Graph) ApplyBatch(b Batch) error {
+	for i, u := range b {
+		if err := g.Apply(u); err != nil {
+			return fmt.Errorf("update %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Inverse returns the update that undoes u. Inverting an insertion that
+// created nodes does not remove the nodes (the model keeps them).
+func (u Update) Inverse() Update {
+	inv := u
+	if u.Op == Insert {
+		inv.Op = Delete
+	} else {
+		inv.Op = Insert
+	}
+	return inv
+}
+
+// Inverse returns the batch that undoes b when applied after b
+// (reversed order, each update inverted).
+func (b Batch) Inverse() Batch {
+	inv := make(Batch, len(b))
+	for i, u := range b {
+		inv[len(b)-1-i] = u.Inverse()
+	}
+	return inv
+}

@@ -1,0 +1,305 @@
+package iso
+
+import (
+	"fmt"
+	"sort"
+
+	"incgraph/internal/cost"
+	"incgraph/internal/graph"
+)
+
+// Index is the incrementally maintained match set Q(G) for one pattern,
+// with an edge→matches inverted index so deletions are O(#dead matches)
+// and insertions are confined to the d_Q-neighborhood of ΔG.
+type Index struct {
+	g *graph.Graph
+	p *Pattern
+	// matches maps the canonical key to the match.
+	matches map[string]Match
+	// byEdge maps a graph edge to the keys of the matches whose pattern
+	// edges use it.
+	byEdge map[graph.Edge]map[string]struct{}
+	meter  *cost.Meter
+}
+
+// Delta describes changes ΔO to Q(G).
+type Delta struct {
+	Added   []Match
+	Removed []Match
+}
+
+// Empty reports whether the output was unaffected.
+func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// Build enumerates Q(G) with VF2 and indexes it. The meter may be nil.
+func Build(g *graph.Graph, p *Pattern, meter *cost.Meter) *Index {
+	ix := &Index{
+		g:       g,
+		p:       p,
+		matches: make(map[string]Match),
+		byEdge:  make(map[graph.Edge]map[string]struct{}),
+		meter:   meter,
+	}
+	Enumerate(g, p, nil, meter, func(m Match) bool {
+		ix.add(m)
+		return true
+	})
+	return ix
+}
+
+// BatchAnswer recomputes Q(G) from scratch: the VF2 baseline.
+func BatchAnswer(g *graph.Graph, p *Pattern, meter *cost.Meter) []Match {
+	return FindAll(g, p, 0, meter)
+}
+
+func (ix *Index) add(m Match) bool {
+	k := m.Key()
+	if _, dup := ix.matches[k]; dup {
+		return false
+	}
+	ix.matches[k] = m
+	ix.p.EdgeImages(m, func(e graph.Edge) {
+		set := ix.byEdge[e]
+		if set == nil {
+			set = make(map[string]struct{})
+			ix.byEdge[e] = set
+		}
+		set[k] = struct{}{}
+	})
+	ix.meter.AddEntries(1)
+	return true
+}
+
+func (ix *Index) remove(k string) (Match, bool) {
+	m, ok := ix.matches[k]
+	if !ok {
+		return nil, false
+	}
+	delete(ix.matches, k)
+	ix.p.EdgeImages(m, func(e graph.Edge) {
+		if set := ix.byEdge[e]; set != nil {
+			delete(set, k)
+			if len(set) == 0 {
+				delete(ix.byEdge, e)
+			}
+		}
+	})
+	ix.meter.AddEntries(1)
+	return m, true
+}
+
+// Graph returns the underlying graph (shared, mutated by Apply*).
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Pattern returns the pattern.
+func (ix *Index) Pattern() *Pattern { return ix.p }
+
+// NumMatches returns |Q(G)|.
+func (ix *Index) NumMatches() int { return len(ix.matches) }
+
+// Matches returns Q(G) sorted by canonical key.
+func (ix *Index) Matches() []Match {
+	keys := make([]string, 0, len(ix.matches))
+	for k := range ix.matches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Match, len(keys))
+	for i, k := range keys {
+		out[i] = ix.matches[k]
+	}
+	return out
+}
+
+// Apply processes a batch ΔG with IncISO: deletions drop exactly the
+// indexed matches that use a deleted edge; insertions run VF2 restricted to
+// the d_Q-neighborhood G_dQ(ΔG+) and add the matches not seen before.
+func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
+	var d Delta
+	// Node creation side effects of the raw batch.
+	for _, u := range batch {
+		if u.Op == graph.Insert {
+			ix.g.EnsureNode(u.From, u.FromLabel)
+			ix.g.EnsureNode(u.To, u.ToLabel)
+		}
+	}
+	batch = batch.Normalize()
+	for _, u := range batch {
+		if u.Op == graph.Delete && !ix.g.HasEdge(u.From, u.To) {
+			return Delta{}, fmt.Errorf("iso: %w: delete of missing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
+		}
+		if u.Op == graph.Insert && ix.g.HasEdge(u.From, u.To) {
+			return Delta{}, fmt.Errorf("iso: %w: insert of existing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
+		}
+	}
+	ins, dels := batch.Split()
+	// (1) Deletions: remove dead matches via the inverted index.
+	for _, u := range dels {
+		ix.g.DeleteEdge(u.From, u.To)
+		e := graph.Edge{From: u.From, To: u.To}
+		for k := range ix.byEdge[e] {
+			if m, ok := ix.remove(k); ok {
+				d.Removed = append(d.Removed, m)
+			}
+		}
+	}
+	// (2)+(3) Insertions: apply all, then delta-enumerate. Every match not
+	// in the old Q(G) must use at least one inserted edge, so anchoring
+	// each pattern edge on each inserted edge enumerates exactly the new
+	// matches — all of them inside the d_Q-neighborhood of ΔG+, which is
+	// what keeps IncISO localizable.
+	if len(ins) > 0 {
+		for _, u := range ins {
+			ix.g.AddEdge(u.From, u.To)
+		}
+		for _, u := range ins {
+			ix.anchorInsertions(u, &d)
+		}
+	}
+	sortMatches(d.Added)
+	sortMatches(d.Removed)
+	return d, nil
+}
+
+// anchorInsertions enumerates the matches created by inserted edge u by
+// pinning every label-compatible pattern edge onto it.
+func (ix *Index) anchorInsertions(u graph.Update, d *Delta) {
+	lf, lt := ix.g.Label(u.From), ix.g.Label(u.To)
+	pg := ix.p.Graph()
+	pg.Edges(func(pe graph.Edge) bool {
+		if pg.Label(pe.From) != lf || pg.Label(pe.To) != lt {
+			return true
+		}
+		if pe.From == pe.To && u.From != u.To {
+			return true
+		}
+		anchor := map[graph.NodeID]graph.NodeID{pe.From: u.From}
+		if pe.From != pe.To {
+			anchor[pe.To] = u.To
+		}
+		EnumerateAnchored(ix.g, ix.p, anchor, ix.meter, func(m Match) bool {
+			if ix.add(m) {
+				d.Added = append(d.Added, m)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// ApplyUnitwise is IncISOn, the baseline of the paper's experiments: each
+// unit update is processed alone, and each insertion pays a full VF2 pass
+// over the d_Q-neighborhood of its edge (rather than IncISO's anchored
+// delta enumeration).
+func (ix *Index) ApplyUnitwise(batch graph.Batch) (Delta, error) {
+	var total Delta
+	for _, u := range batch {
+		if u.Op == graph.Insert {
+			ix.g.EnsureNode(u.From, u.FromLabel)
+			ix.g.EnsureNode(u.To, u.ToLabel)
+			if ix.g.HasEdge(u.From, u.To) {
+				return Delta{}, fmt.Errorf("iso: %w: insert of existing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
+			}
+			ix.g.AddEdge(u.From, u.To)
+			scopeDist := ix.g.NeighborhoodNodes([]graph.NodeID{u.From, u.To}, ix.p.Diameter())
+			ix.meter.AddNodes(len(scopeDist))
+			scope := make(map[graph.NodeID]bool, len(scopeDist))
+			for v := range scopeDist {
+				scope[v] = true
+			}
+			Enumerate(ix.g, ix.p, scope, ix.meter, func(m Match) bool {
+				if ix.add(m) {
+					total.Added = append(total.Added, m)
+				}
+				return true
+			})
+			continue
+		}
+		if !ix.g.DeleteEdge(u.From, u.To) {
+			return Delta{}, fmt.Errorf("iso: %w: delete of missing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
+		}
+		e := graph.Edge{From: u.From, To: u.To}
+		for k := range ix.byEdge[e] {
+			if m, ok := ix.remove(k); ok {
+				total.Removed = append(total.Removed, m)
+			}
+		}
+	}
+	total = total.compact()
+	return total, nil
+}
+
+// compact cancels add/remove pairs of the same match accumulated across
+// unit steps.
+func (d Delta) compact() Delta {
+	state := make(map[string]int)
+	byKey := make(map[string]Match)
+	for _, m := range d.Added {
+		state[m.Key()]++
+		byKey[m.Key()] = m
+	}
+	for _, m := range d.Removed {
+		state[m.Key()]--
+		byKey[m.Key()] = m
+	}
+	var out Delta
+	for k, n := range state {
+		switch {
+		case n > 0:
+			out.Added = append(out.Added, byKey[k])
+		case n < 0:
+			out.Removed = append(out.Removed, byKey[k])
+		}
+	}
+	sortMatches(out.Added)
+	sortMatches(out.Removed)
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Key() < ms[j].Key() })
+}
+
+// Check audits the index against a fresh VF2 run: identical match sets and
+// a consistent inverted index.
+func (ix *Index) Check() error {
+	truth := BatchAnswer(ix.g, ix.p, nil)
+	if len(truth) != len(ix.matches) {
+		return fmt.Errorf("iso: %d matches, batch recompute has %d", len(ix.matches), len(truth))
+	}
+	for _, m := range truth {
+		if _, ok := ix.matches[m.Key()]; !ok {
+			return fmt.Errorf("iso: missing match %v", m)
+		}
+		if err := ix.p.Verify(ix.g, m); err != nil {
+			return err
+		}
+	}
+	// Inverted index must cover exactly the pattern-edge images.
+	count := 0
+	for e, set := range ix.byEdge {
+		if !ix.g.HasEdge(e.From, e.To) {
+			return fmt.Errorf("iso: index references missing edge %v", e)
+		}
+		count += len(set)
+		for k := range set {
+			if _, ok := ix.matches[k]; !ok {
+				return fmt.Errorf("iso: index references dead match %s", k)
+			}
+		}
+	}
+	want := 0
+	for _, m := range ix.matches {
+		seen := make(map[graph.Edge]bool)
+		ix.p.EdgeImages(m, func(e graph.Edge) {
+			if !seen[e] {
+				seen[e] = true
+				want++
+			}
+		})
+	}
+	if count != want {
+		return fmt.Errorf("iso: inverted index has %d entries, want %d", count, want)
+	}
+	return nil
+}

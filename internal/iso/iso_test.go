@@ -1,0 +1,364 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+
+	"incgraph/internal/cost"
+	"incgraph/internal/graph"
+)
+
+func TestPatternValidation(t *testing.T) {
+	if _, err := NewPattern(graph.New()); err == nil {
+		t.Fatalf("empty pattern accepted")
+	}
+	g := graph.New()
+	g.AddNode(0, "a")
+	g.AddNode(1, "b") // disconnected
+	if _, err := NewPattern(g); err == nil {
+		t.Fatalf("disconnected pattern accepted")
+	}
+	g.AddEdge(0, 1)
+	p, err := NewPattern(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Diameter() != 1 {
+		t.Fatalf("diameter = %d", p.Diameter())
+	}
+	vq, eq := p.Size()
+	if vq != 2 || eq != 1 {
+		t.Fatalf("size = (%d,%d)", vq, eq)
+	}
+}
+
+func TestPathPatternMatching(t *testing.T) {
+	g := graph.New()
+	for i, l := range []string{"a", "b", "c", "b"} {
+		g.AddNode(graph.NodeID(i), l)
+	}
+	g.AddEdge(0, 1) // a→b
+	g.AddEdge(1, 2) // b→c
+	g.AddEdge(0, 3) // a→b (second b)
+	g.AddEdge(3, 2) // b→c
+	p := PathPattern("a", "b", "c")
+	ms := FindAll(g, p, 0, nil)
+	if len(ms) != 2 {
+		t.Fatalf("matches = %v", ms)
+	}
+	for _, m := range ms {
+		if err := p.Verify(g, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTriangleMatching(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 3; i++ {
+		g.AddNode(graph.NodeID(i), "x")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	p := TrianglePattern("x", "x", "x")
+	ms := FindAll(g, p, 0, nil)
+	// A directed 3-cycle with identical labels has 3 automorphic matches.
+	if len(ms) != 3 {
+		t.Fatalf("triangle matches = %d (%v)", len(ms), ms)
+	}
+}
+
+func TestNonInducedSemantics(t *testing.T) {
+	// Extra edges among matched nodes must not block a match (the paper's
+	// G_s is the image subgraph, not the induced one).
+	g := graph.New()
+	g.AddNode(0, "a")
+	g.AddNode(1, "b")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // extra back edge
+	p := PathPattern("a", "b")
+	if ms := FindAll(g, p, 0, nil); len(ms) != 1 {
+		t.Fatalf("matches = %v", ms)
+	}
+}
+
+func TestSelfLoopPattern(t *testing.T) {
+	pg := graph.New()
+	pg.AddNode(0, "a")
+	pg.AddEdge(0, 0)
+	p := MustPattern(pg)
+	g := graph.New()
+	g.AddNode(1, "a")
+	g.AddNode(2, "a")
+	g.AddEdge(1, 1)
+	if ms := FindAll(g, p, 0, nil); len(ms) != 1 || ms[0][0] != 1 {
+		t.Fatalf("self-loop matches = %v", ms)
+	}
+}
+
+func TestFindAllLimit(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.AddNode(graph.NodeID(i), "a")
+	}
+	pg := graph.New()
+	pg.AddNode(0, "a")
+	p := MustPattern(pg)
+	if ms := FindAll(g, p, 3, nil); len(ms) != 3 {
+		t.Fatalf("limit ignored: %d", len(ms))
+	}
+}
+
+func TestStarPattern(t *testing.T) {
+	g := graph.New()
+	g.AddNode(0, "hub")
+	g.AddNode(1, "x")
+	g.AddNode(2, "y")
+	g.AddNode(3, "x")
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	p := StarPattern("hub", "x", "y")
+	ms := FindAll(g, p, 0, nil)
+	if len(ms) != 2 { // leaf x can be 1 or 3
+		t.Fatalf("star matches = %v", ms)
+	}
+}
+
+func TestIncDeleteRemovesMatches(t *testing.T) {
+	g := graph.New()
+	for i, l := range []string{"a", "b", "c"} {
+		g.AddNode(graph.NodeID(i), l)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	p := PathPattern("a", "b", "c")
+	ix := Build(g, p, nil)
+	if ix.NumMatches() != 1 {
+		t.Fatalf("setup: %d matches", ix.NumMatches())
+	}
+	d, err := ix.Apply(graph.Batch{graph.Del(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Removed) != 1 || ix.NumMatches() != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if err := ix.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncInsertAddsMatches(t *testing.T) {
+	g := graph.New()
+	for i, l := range []string{"a", "b", "c"} {
+		g.AddNode(graph.NodeID(i), l)
+	}
+	g.AddEdge(0, 1)
+	p := PathPattern("a", "b", "c")
+	ix := Build(g, p, nil)
+	d, err := ix.Apply(graph.Batch{graph.Ins(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || ix.NumMatches() != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if err := ix.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncInsertWithNewNodes(t *testing.T) {
+	g := graph.New()
+	g.AddNode(0, "a")
+	p := PathPattern("a", "b")
+	ix := Build(g, p, nil)
+	d, err := ix.Apply(graph.Batch{graph.InsNew(0, 50, "", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if err := ix.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	g := graph.New()
+	g.AddNode(0, "a")
+	g.AddNode(1, "b")
+	g.AddEdge(0, 1)
+	ix := Build(g, PathPattern("a", "b"), nil)
+	if _, err := ix.Apply(graph.Batch{graph.Del(1, 0)}); err == nil {
+		t.Fatalf("missing delete accepted")
+	}
+	if _, err := ix.Apply(graph.Batch{graph.Ins(0, 1)}); err == nil {
+		t.Fatalf("duplicate insert accepted")
+	}
+}
+
+func randomLabeled(rng *rand.Rand, n, m int, labels []string) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.NodeID(i), labels[rng.Intn(len(labels))])
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+func randomBatch(rng *rand.Rand, g *graph.Graph, k int, labels []string) graph.Batch {
+	sim := g.Clone()
+	var batch graph.Batch
+	maxID := sim.MaxNodeID()
+	for len(batch) < k {
+		nodes := sim.NodesSorted()
+		v := nodes[rng.Intn(len(nodes))]
+		switch rng.Intn(5) {
+		case 0, 1:
+			succ := sim.SuccessorsSorted(v)
+			if len(succ) == 0 {
+				continue
+			}
+			u := graph.Del(v, succ[rng.Intn(len(succ))])
+			sim.Apply(u)
+			batch = append(batch, u)
+		case 2:
+			maxID++
+			u := graph.InsNew(v, maxID, "", labels[rng.Intn(len(labels))])
+			sim.Apply(u)
+			batch = append(batch, u)
+		default:
+			w := nodes[rng.Intn(len(nodes))]
+			if sim.HasEdge(v, w) {
+				continue
+			}
+			u := graph.Ins(v, w)
+			sim.Apply(u)
+			batch = append(batch, u)
+		}
+	}
+	return batch
+}
+
+func TestIncrementalEqualsBatchRandomized(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	patterns := []*Pattern{
+		PathPattern("a", "b"),
+		PathPattern("a", "b", "c"),
+		TrianglePattern("a", "b", "c"),
+		StarPattern("a", "b", "c"),
+	}
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := patterns[int(seed)%len(patterns)]
+		g := randomLabeled(rng, 18, 40, labels)
+		batch := randomBatch(rng, g, 10, labels)
+
+		ixb := Build(g.Clone(), p, nil)
+		if _, err := ixb.Apply(batch); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ixb.Check(); err != nil {
+			t.Fatalf("seed %d: IncISO: %v", seed, err)
+		}
+
+		ixu := Build(g.Clone(), p, nil)
+		if _, err := ixu.ApplyUnitwise(batch); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ixu.Check(); err != nil {
+			t.Fatalf("seed %d: IncISOn: %v", seed, err)
+		}
+
+		if ixb.NumMatches() != ixu.NumMatches() {
+			t.Fatalf("seed %d: IncISO %d matches, IncISOn %d", seed, ixb.NumMatches(), ixu.NumMatches())
+		}
+	}
+}
+
+func TestDeltaConsistencyRandomized(t *testing.T) {
+	labels := []string{"a", "b"}
+	for seed := int64(70); seed < 82; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomLabeled(rng, 15, 35, labels)
+		p := PathPattern("a", "b", "a")
+		ix := Build(g, p, nil)
+		before := make(map[string]bool)
+		for _, m := range ix.Matches() {
+			before[m.Key()] = true
+		}
+		batch := randomBatch(rng, g, 8, labels)
+		d, err := ix.Apply(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range d.Removed {
+			if !before[m.Key()] {
+				t.Fatalf("seed %d: removed unknown match", seed)
+			}
+			delete(before, m.Key())
+		}
+		for _, m := range d.Added {
+			if before[m.Key()] {
+				t.Fatalf("seed %d: double add", seed)
+			}
+			before[m.Key()] = true
+		}
+		if len(before) != ix.NumMatches() {
+			t.Fatalf("seed %d: delta inconsistent: %d vs %d", seed, len(before), ix.NumMatches())
+		}
+	}
+}
+
+func TestLocalizability(t *testing.T) {
+	// Theorem 3 for ISO: IncISO's work is a function of the
+	// d_Q-neighborhood of ΔG, independent of |G|.
+	run := func(ballast int) int {
+		g := graph.New()
+		g.AddNode(0, "a")
+		g.AddNode(1, "b")
+		g.AddNode(2, "c")
+		g.AddEdge(0, 1)
+		for i := 0; i < ballast; i++ {
+			id := graph.NodeID(1000 + i)
+			g.AddNode(id, "z")
+			if i > 0 {
+				g.AddEdge(id-1, id)
+			}
+		}
+		ix := Build(g, PathPattern("a", "b", "c"), nil)
+		m := &cost.Meter{}
+		ix.meter = m
+		if _, err := ix.Apply(graph.Batch{graph.Ins(1, 2)}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Total()
+	}
+	small := run(10)
+	big := run(5000)
+	if small != big {
+		t.Fatalf("IncISO not localizable: %d vs %d", small, big)
+	}
+}
+
+func TestMatchKeyAndImages(t *testing.T) {
+	p := PathPattern("a", "b")
+	m := Match{graph.NodeID(7), graph.NodeID(9)}
+	if m.Key() != "7,9" {
+		t.Fatalf("key = %q", m.Key())
+	}
+	if p.ImageOf(m, 1) != 9 {
+		t.Fatalf("ImageOf wrong")
+	}
+	var es []graph.Edge
+	p.EdgeImages(m, func(e graph.Edge) { es = append(es, e) })
+	if len(es) != 1 || es[0] != (graph.Edge{From: 7, To: 9}) {
+		t.Fatalf("edge images = %v", es)
+	}
+}

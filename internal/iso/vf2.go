@@ -1,0 +1,229 @@
+package iso
+
+import (
+	"incgraph/internal/cost"
+	"incgraph/internal/graph"
+)
+
+// This file implements the VF2-style enumerator [15]: depth-first extension
+// of a partial embedding along the pattern's connectivity order, with
+// label, degree and adjacency-consistency pruning. Matching is non-induced
+// on the data side, exactly as the paper defines ISO: the match subgraph
+// G_s consists of the images of the pattern's nodes and edges.
+//
+// Three entry points share the searcher:
+//
+//   - FindAll / Enumerate: the batch algorithm over the whole graph (or a
+//     node scope).
+//   - EnumerateAnchored: delta enumeration for IncISO — a pattern edge is
+//     pinned onto a newly inserted graph edge, so only embeddings that use
+//     that edge are explored. This is what confines insertions to the
+//     d_Q-neighborhood of ΔG.
+
+// FindAll enumerates every match of p in g, in no particular order.
+// A negative or zero limit means unlimited.
+func FindAll(g *graph.Graph, p *Pattern, limit int, meter *cost.Meter) []Match {
+	var out []Match
+	Enumerate(g, p, nil, meter, func(m Match) bool {
+		out = append(out, m)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// Enumerate calls fn for every match of p in g whose image nodes all lie in
+// scope (pass nil for the whole graph). Iteration stops when fn returns
+// false. Matches are reported aligned with p.Nodes().
+func Enumerate(g *graph.Graph, p *Pattern, scope map[graph.NodeID]bool, meter *cost.Meter, fn func(Match) bool) {
+	s := &searcher{
+		g:     g,
+		p:     p,
+		scope: scope,
+		core:  make(map[graph.NodeID]graph.NodeID, len(p.nodes)),
+		used:  make(map[graph.NodeID]bool, len(p.nodes)),
+		meter: meter,
+		fn:    fn,
+	}
+	s.order = p.order
+	s.extend(0)
+}
+
+// EnumerateAnchored calls fn for every match whose embedding extends the
+// given anchor (pattern node → graph node). It returns immediately when the
+// anchor itself is infeasible. IncISO anchors each pattern edge on each
+// inserted graph edge.
+func EnumerateAnchored(g *graph.Graph, p *Pattern, anchor map[graph.NodeID]graph.NodeID, meter *cost.Meter, fn func(Match) bool) {
+	s := &searcher{
+		g:     g,
+		p:     p,
+		core:  make(map[graph.NodeID]graph.NodeID, len(p.nodes)),
+		used:  make(map[graph.NodeID]bool, len(p.nodes)),
+		meter: meter,
+		fn:    fn,
+	}
+	// Install and validate the anchor.
+	for u, v := range anchor {
+		if !s.feasible(u, v) {
+			return
+		}
+		s.core[u] = v
+		s.used[v] = true
+	}
+	// Search order: anchored nodes first (already mapped), then the same
+	// most-constrained greedy extension used by the batch order. Orders for
+	// pattern-edge anchors are precomputed on the Pattern.
+	seed := make([]graph.NodeID, 0, len(anchor))
+	for u := range anchor {
+		seed = append(seed, u)
+	}
+	if len(seed) == 2 {
+		if o, ok := p.edgeOrders[graph.Edge{From: seed[0], To: seed[1]}]; ok {
+			s.order = o
+		} else if o, ok := p.edgeOrders[graph.Edge{From: seed[1], To: seed[0]}]; ok {
+			s.order = o
+		}
+	} else if len(seed) == 1 {
+		if o, ok := p.edgeOrders[graph.Edge{From: seed[0], To: seed[0]}]; ok {
+			s.order = o
+		}
+	}
+	if s.order == nil {
+		s.order = p.greedyOrder(seed)
+	}
+	s.extend(len(anchor))
+}
+
+// searcher carries the state of one enumeration.
+type searcher struct {
+	g     *graph.Graph
+	p     *Pattern
+	scope map[graph.NodeID]bool
+	order []graph.NodeID
+	core  map[graph.NodeID]graph.NodeID
+	used  map[graph.NodeID]bool
+	meter *cost.Meter
+	fn    func(Match) bool
+	stop  bool
+}
+
+func (s *searcher) inScope(v graph.NodeID) bool { return s.scope == nil || s.scope[v] }
+
+// feasible reports whether mapping u→v keeps the partial embedding
+// consistent: labels equal, v unused and in scope, and every pattern edge
+// between u and an already-mapped node has its image in g.
+func (s *searcher) feasible(u, v graph.NodeID) bool {
+	s.meter.AddNodes(1)
+	pg := s.p.g
+	if s.used[v] || s.g.Label(v) != pg.Label(u) || !s.inScope(v) {
+		return false
+	}
+	if s.g.OutDegree(v) < pg.OutDegree(u) || s.g.InDegree(v) < pg.InDegree(u) {
+		return false
+	}
+	ok := true
+	pg.Successors(u, func(q graph.NodeID) bool {
+		s.meter.AddEdges(1)
+		if q == u {
+			return true // self-loop handled below
+		}
+		if img, mapped := s.core[q]; mapped && !s.g.HasEdge(v, img) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return false
+	}
+	pg.Predecessors(u, func(q graph.NodeID) bool {
+		s.meter.AddEdges(1)
+		if q == u {
+			return true
+		}
+		if img, mapped := s.core[q]; mapped && !s.g.HasEdge(img, v) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return false
+	}
+	if pg.HasEdge(u, u) && !s.g.HasEdge(v, v) {
+		return false
+	}
+	return true
+}
+
+// candidates yields the possible images of pattern node u given the current
+// partial mapping.
+func (s *searcher) candidates(u graph.NodeID, yield func(graph.NodeID) bool) {
+	pg := s.p.g
+	var anchor graph.NodeID
+	anchorDir := 0
+	pg.Predecessors(u, func(q graph.NodeID) bool {
+		if _, mapped := s.core[q]; mapped && q != u {
+			anchor, anchorDir = s.core[q], +1
+			return false
+		}
+		return true
+	})
+	if anchorDir == 0 {
+		pg.Successors(u, func(q graph.NodeID) bool {
+			if _, mapped := s.core[q]; mapped && q != u {
+				anchor, anchorDir = s.core[q], -1
+				return false
+			}
+			return true
+		})
+	}
+	switch anchorDir {
+	case +1:
+		s.g.Successors(anchor, yield)
+	case -1:
+		s.g.Predecessors(anchor, yield)
+	default:
+		if s.scope != nil {
+			for v := range s.scope {
+				if !yield(v) {
+					return
+				}
+			}
+			return
+		}
+		lbl := pg.Label(u)
+		s.g.Nodes(func(v graph.NodeID, l string) bool {
+			if l == lbl {
+				return yield(v)
+			}
+			return true
+		})
+	}
+}
+
+func (s *searcher) extend(depth int) {
+	if s.stop {
+		return
+	}
+	if depth == len(s.p.nodes) {
+		m := make(Match, len(s.p.nodes))
+		for u, v := range s.core {
+			m[s.p.idx[u]] = v
+		}
+		if !s.fn(m) {
+			s.stop = true
+		}
+		return
+	}
+	u := s.order[depth]
+	s.candidates(u, func(v graph.NodeID) bool {
+		if s.feasible(u, v) {
+			s.core[u] = v
+			s.used[v] = true
+			s.extend(depth + 1)
+			delete(s.core, u)
+			delete(s.used, v)
+		}
+		return !s.stop
+	})
+}

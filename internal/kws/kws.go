@@ -1,0 +1,238 @@
+// Package kws implements keyword search with distinct roots (KWS, Section
+// 2.1 of Fan, Hu & Tian, SIGMOD 2017) and its localizable incremental
+// algorithms (Section 4.2): IncKWS+ for unit insertions (Fig. 1), IncKWS−
+// for unit deletions (Fig. 3), and the three-phase IncKWS for batch updates.
+//
+// A query Q = (k1,…,km) with bound b matches at root r when, for every
+// keyword ki, some node labeled ki is within b directed hops of r; the
+// match is the tree of the m shortest paths (hop metric), with ties broken
+// by a predefined order. The auxiliary structure is the keyword-distance
+// list kdist(v): per node and keyword, the shortest distance and the next
+// node on the chosen shortest path. The batch builder plays the role of
+// BLINKS [27]: any batch KWS algorithm "maintains something like kdist(·)".
+//
+// Distances are maintained only up to the bound b; anything farther is
+// recorded as Unreachable, which is what makes every operation local to the
+// b-neighborhood of the update (localizability, Theorem 3).
+package kws
+
+import (
+	"fmt"
+	"sort"
+
+	"incgraph/internal/cost"
+	"incgraph/internal/graph"
+)
+
+// Unreachable is the kdist sentinel for "no node matching the keyword
+// within bound b".
+const Unreachable = int(1) << 30
+
+// NoNext marks the absence of a next pointer (dist 0 or Unreachable).
+const NoNext = graph.NodeID(-1)
+
+// Query is a keyword query (k1,…,km) with distance bound b.
+type Query struct {
+	Keywords []string
+	Bound    int
+}
+
+// Validate checks the query is well formed.
+func (q Query) Validate() error {
+	if len(q.Keywords) == 0 {
+		return fmt.Errorf("kws: query needs at least one keyword")
+	}
+	if q.Bound < 0 {
+		return fmt.Errorf("kws: negative bound %d", q.Bound)
+	}
+	seen := make(map[string]bool, len(q.Keywords))
+	for _, k := range q.Keywords {
+		if k == "" {
+			return fmt.Errorf("kws: empty keyword")
+		}
+		if seen[k] {
+			return fmt.Errorf("kws: duplicate keyword %q", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// Entry is one kdist(v)[ki] record: (dist, next).
+type Entry struct {
+	Dist int
+	Next graph.NodeID
+}
+
+// Match is a query answer rooted at Root; Dists[i] is the shortest distance
+// from Root to a node labeled Keywords[i] (all ≤ Bound).
+type Match struct {
+	Root  graph.NodeID
+	Dists []int
+}
+
+// Index is the incrementally-maintained state: the graph, the kdist lists,
+// and the current match set Q(G).
+type Index struct {
+	g     *graph.Graph
+	q     Query
+	kdist map[graph.NodeID][]Entry
+	// matches maps each match root to its per-keyword distance vector.
+	matches map[graph.NodeID][]int
+	meter   *cost.Meter
+}
+
+// Build runs the batch algorithm: for each keyword a bounded multi-source
+// reverse BFS from the keyword's nodes, producing kdist(·) and Q(G).
+// The meter may be nil.
+func Build(g *graph.Graph, q Query, meter *cost.Meter) (*Index, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		g:       g,
+		q:       q,
+		kdist:   make(map[graph.NodeID][]Entry, g.NumNodes()),
+		matches: make(map[graph.NodeID][]int),
+		meter:   meter,
+	}
+	g.Nodes(func(v graph.NodeID, _ string) bool {
+		ix.kdist[v] = ix.freshEntries(v)
+		return true
+	})
+	for i := range q.Keywords {
+		ix.buildKeyword(i)
+	}
+	g.Nodes(func(v graph.NodeID, _ string) bool {
+		ix.refreshMatch(v)
+		return true
+	})
+	return ix, nil
+}
+
+// freshEntries returns the initial kdist row of node v: dist 0 for keywords
+// equal to l(v), Unreachable otherwise.
+func (ix *Index) freshEntries(v graph.NodeID) []Entry {
+	row := make([]Entry, len(ix.q.Keywords))
+	lbl := ix.g.Label(v)
+	for i, kw := range ix.q.Keywords {
+		if lbl == kw {
+			row[i] = Entry{Dist: 0, Next: NoNext}
+		} else {
+			row[i] = Entry{Dist: Unreachable, Next: NoNext}
+		}
+	}
+	return row
+}
+
+// buildKeyword fills kdist(·)[i] by reverse BFS from all nodes labeled the
+// keyword, bounded by q.Bound.
+func (ix *Index) buildKeyword(i int) {
+	type item struct {
+		v graph.NodeID
+		d int
+	}
+	var queue []item
+	for _, v := range ix.g.NodesWithLabel(ix.q.Keywords[i]) {
+		queue = append(queue, item{v, 0})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		ix.meter.AddNodes(1)
+		if it.d == ix.q.Bound {
+			continue
+		}
+		ix.g.Predecessors(it.v, func(u graph.NodeID) bool {
+			ix.meter.AddEdges(1)
+			row := ix.kdist[u]
+			if it.d+1 < row[i].Dist {
+				row[i] = Entry{Dist: it.d + 1, Next: it.v}
+				ix.meter.AddEntries(1)
+				queue = append(queue, item{u, it.d + 1})
+			}
+			return true
+		})
+	}
+}
+
+// refreshMatch recomputes whether v is a match root, updating the match set.
+func (ix *Index) refreshMatch(v graph.NodeID) {
+	row, ok := ix.kdist[v]
+	if !ok {
+		delete(ix.matches, v)
+		return
+	}
+	for _, e := range row {
+		if e.Dist > ix.q.Bound {
+			delete(ix.matches, v)
+			return
+		}
+	}
+	ds := make([]int, len(row))
+	for i, e := range row {
+		ds[i] = e.Dist
+	}
+	ix.matches[v] = ds
+}
+
+// Graph returns the underlying graph (shared, mutated by Apply*).
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Query returns the query the index answers.
+func (ix *Index) Query() Query { return ix.q }
+
+// Entry returns kdist(v)[i].
+func (ix *Index) Entry(v graph.NodeID, i int) Entry {
+	row, ok := ix.kdist[v]
+	if !ok {
+		return Entry{Dist: Unreachable, Next: NoNext}
+	}
+	return row[i]
+}
+
+// MatchRoots returns the roots of Q(G) in ascending order.
+func (ix *Index) MatchRoots() []graph.NodeID {
+	roots := make([]graph.NodeID, 0, len(ix.matches))
+	for r := range ix.matches {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	return roots
+}
+
+// MatchAt returns the match rooted at r, or false if r is not a root.
+func (ix *Index) MatchAt(r graph.NodeID) (Match, bool) {
+	ds, ok := ix.matches[r]
+	if !ok {
+		return Match{}, false
+	}
+	out := make([]int, len(ds))
+	copy(out, ds)
+	return Match{Root: r, Dists: out}, true
+}
+
+// NumMatches returns |Q(G)|.
+func (ix *Index) NumMatches() int { return len(ix.matches) }
+
+// Snapshot returns a copy of the match set, root → dist vector. Tests and
+// the public Delta computation use it.
+func (ix *Index) Snapshot() map[graph.NodeID][]int {
+	out := make(map[graph.NodeID][]int, len(ix.matches))
+	for r, ds := range ix.matches {
+		cp := make([]int, len(ds))
+		copy(cp, ds)
+		out[r] = cp
+	}
+	return out
+}
+
+// BatchAnswer computes Q(G) from scratch without retaining an index: the
+// batch baseline the experiments compare against.
+func BatchAnswer(g *graph.Graph, q Query, meter *cost.Meter) (map[graph.NodeID][]int, error) {
+	ix, err := Build(g, q, meter)
+	if err != nil {
+		return nil, err
+	}
+	return ix.matches, nil
+}

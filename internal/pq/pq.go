@@ -1,0 +1,136 @@
+// Package pq provides an indexed binary min-heap with decrease-key, the
+// priority queue q_i used by the paper's incremental algorithms (IncKWS−
+// line 9/14, IncKWS phase (c), IncRPQ line 4/8, rank reallocation in
+// IncSCC). Keys are ints (hop distances, ranks); values are any comparable
+// identifier such as a node ID or a (source, node, state) triple.
+package pq
+
+// Heap is an indexed min-heap. The zero value is not usable; call New.
+type Heap[T comparable] struct {
+	keys []int
+	vals []T
+	pos  map[T]int
+	// Ops counts pushes, pops and key updates, for cost accounting.
+	Ops int
+}
+
+// New returns an empty heap.
+func New[T comparable]() *Heap[T] {
+	return &Heap[T]{pos: make(map[T]int)}
+}
+
+// Len returns the number of queued values.
+func (h *Heap[T]) Len() int { return len(h.vals) }
+
+// Contains reports whether v is queued.
+func (h *Heap[T]) Contains(v T) bool {
+	_, ok := h.pos[v]
+	return ok
+}
+
+// Key returns the current key of v and whether v is queued.
+func (h *Heap[T]) Key(v T) (int, bool) {
+	i, ok := h.pos[v]
+	if !ok {
+		return 0, false
+	}
+	return h.keys[i], true
+}
+
+// Push inserts v with the given key, or updates v's key if already queued
+// (both decrease and increase are handled). This implements the paper's
+// q.insert and q.decrease in one operation.
+func (h *Heap[T]) Push(v T, key int) {
+	h.Ops++
+	if i, ok := h.pos[v]; ok {
+		old := h.keys[i]
+		h.keys[i] = key
+		if key < old {
+			h.up(i)
+		} else if key > old {
+			h.down(i)
+		}
+		return
+	}
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	i := len(h.vals) - 1
+	h.pos[v] = i
+	h.up(i)
+}
+
+// Pop removes and returns the value with the minimum key. The boolean is
+// false when the heap is empty. This is the paper's q.pull_min().
+func (h *Heap[T]) Pop() (T, int, bool) {
+	var zero T
+	if len(h.vals) == 0 {
+		return zero, 0, false
+	}
+	h.Ops++
+	v, k := h.vals[0], h.keys[0]
+	last := len(h.vals) - 1
+	h.swap(0, last)
+	h.keys = h.keys[:last]
+	h.vals = h.vals[:last]
+	delete(h.pos, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v, k, true
+}
+
+// Remove deletes v from the heap if queued and reports whether it was.
+func (h *Heap[T]) Remove(v T) bool {
+	i, ok := h.pos[v]
+	if !ok {
+		return false
+	}
+	h.Ops++
+	last := len(h.vals) - 1
+	h.swap(i, last)
+	h.keys = h.keys[:last]
+	h.vals = h.vals[:last]
+	delete(h.pos, v)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	return true
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+	h.pos[h.vals[i]] = i
+	h.pos[h.vals[j]] = j
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.vals)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.keys[l] < h.keys[small] {
+			small = l
+		}
+		if r < n && h.keys[r] < h.keys[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

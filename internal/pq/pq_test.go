@@ -1,0 +1,134 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapBasics(t *testing.T) {
+	h := New[string]()
+	if _, _, ok := h.Pop(); ok {
+		t.Fatalf("pop of empty heap succeeded")
+	}
+	h.Push("a", 3)
+	h.Push("b", 1)
+	h.Push("c", 2)
+	if h.Len() != 3 || !h.Contains("b") {
+		t.Fatalf("heap state wrong")
+	}
+	if k, ok := h.Key("a"); !ok || k != 3 {
+		t.Fatalf("Key(a) = %d,%v", k, ok)
+	}
+	v, k, _ := h.Pop()
+	if v != "b" || k != 1 {
+		t.Fatalf("pop = %s,%d", v, k)
+	}
+	if h.Contains("b") {
+		t.Fatalf("popped value still queued")
+	}
+}
+
+func TestDecreaseAndIncreaseKey(t *testing.T) {
+	h := New[int]()
+	for i := 0; i < 10; i++ {
+		h.Push(i, 100+i)
+	}
+	h.Push(7, 1)   // decrease
+	h.Push(0, 999) // increase
+	v, k, _ := h.Pop()
+	if v != 7 || k != 1 {
+		t.Fatalf("decrease-key ignored: %d,%d", v, k)
+	}
+	var lastVal int
+	for h.Len() > 0 {
+		lastVal, _, _ = h.Pop()
+	}
+	if lastVal != 0 {
+		t.Fatalf("increase-key ignored: last popped %d", lastVal)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New[int]()
+	for i := 0; i < 5; i++ {
+		h.Push(i, i)
+	}
+	if !h.Remove(2) || h.Remove(2) {
+		t.Fatalf("Remove semantics wrong")
+	}
+	var got []int
+	for h.Len() > 0 {
+		v, _, _ := h.Pop()
+		got = append(got, v)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestHeapSortProperty(t *testing.T) {
+	// Property: popping everything yields keys in nondecreasing order and
+	// matches a reference sort, under random pushes/updates/removes.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New[int]()
+		ref := make(map[int]int)
+		for step := 0; step < 300; step++ {
+			v := rng.Intn(40)
+			switch rng.Intn(3) {
+			case 0, 1:
+				k := rng.Intn(1000)
+				h.Push(v, k)
+				ref[v] = k
+			case 2:
+				h.Remove(v)
+				delete(ref, v)
+			}
+		}
+		var want []int
+		for _, k := range ref {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		var got []int
+		prev := -1
+		for h.Len() > 0 {
+			_, k, _ := h.Pop()
+			if k < prev {
+				return false
+			}
+			prev = k
+			got = append(got, k)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsCounter(t *testing.T) {
+	h := New[int]()
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Pop()
+	if h.Ops != 3 {
+		t.Fatalf("Ops = %d, want 3", h.Ops)
+	}
+}

@@ -1,0 +1,168 @@
+package rex
+
+import "sort"
+
+// NFA is an ε-free nondeterministic finite automaton over node labels,
+// built with the Glushkov (position) construction: one state per label
+// occurrence of the expression plus the initial state 0, so |S| = |Q| + 1.
+//
+// The paper's RPQ_NFA batch algorithm and IncRPQ both traverse the
+// intersection (product) of a graph with this automaton.
+type NFA struct {
+	// numStates counts states; state 0 is initial, states 1..numStates-1
+	// are the Glushkov positions.
+	numStates int
+	accept    []bool
+	// trans[s] maps a label to the sorted target states reachable from s
+	// by consuming that label.
+	trans []map[string][]int
+}
+
+// StateID identifies an NFA state; 0 is the initial state.
+type StateID = int
+
+// Compile builds the Glushkov automaton of a.
+func Compile(a *Ast) *NFA {
+	c := &compiler{}
+	info := c.analyze(a)
+	n := &NFA{
+		numStates: len(c.positions) + 1,
+		accept:    make([]bool, len(c.positions)+1),
+		trans:     make([]map[string][]int, len(c.positions)+1),
+	}
+	for i := range n.trans {
+		n.trans[i] = make(map[string][]int)
+	}
+	n.accept[0] = info.nullable
+	for _, p := range info.last {
+		n.accept[p] = true
+	}
+	addMoves := func(from int, targets []int) {
+		for _, q := range targets {
+			lbl := c.positions[q-1]
+			n.trans[from][lbl] = append(n.trans[from][lbl], q)
+		}
+	}
+	addMoves(0, info.first)
+	for p := range c.positions {
+		addMoves(p+1, c.follow[p+1])
+	}
+	for s := range n.trans {
+		for lbl := range n.trans[s] {
+			ts := n.trans[s][lbl]
+			sort.Ints(ts)
+			n.trans[s][lbl] = dedupInts(ts)
+		}
+	}
+	return n
+}
+
+func dedupInts(ts []int) []int {
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != ts[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NumStates returns the number of states (|Q| + 1).
+func (n *NFA) NumStates() int { return n.numStates }
+
+// Start returns the initial state.
+func (n *NFA) Start() StateID { return 0 }
+
+// Accepting reports whether s is an accepting state.
+func (n *NFA) Accepting(s StateID) bool { return n.accept[s] }
+
+// Next returns δ(s, label): the states reachable from s by consuming label.
+// The returned slice is shared and must not be modified.
+func (n *NFA) Next(s StateID, label string) []int { return n.trans[s][label] }
+
+// AcceptsEmpty reports whether ε is in the language.
+func (n *NFA) AcceptsEmpty() bool { return n.accept[0] }
+
+// MatchSeq simulates the automaton on a label sequence; used for testing
+// against Ast.MatchSeq.
+func (n *NFA) MatchSeq(labels []string) bool {
+	cur := map[int]bool{0: true}
+	for _, l := range labels {
+		next := make(map[int]bool)
+		for s := range cur {
+			for _, t := range n.Next(s, l) {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for s := range cur {
+		if n.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// compiler computes the Glushkov position sets.
+type compiler struct {
+	// positions[i] is the label of position i+1.
+	positions []string
+	// follow[p] is Follow(p) for position p ≥ 1.
+	follow map[int][]int
+}
+
+// posInfo carries the classic Glushkov attributes of a subexpression.
+type posInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func (c *compiler) analyze(a *Ast) posInfo {
+	if c.follow == nil {
+		c.follow = make(map[int][]int)
+	}
+	switch a.Kind {
+	case Eps:
+		return posInfo{nullable: true}
+	case Lbl:
+		c.positions = append(c.positions, a.Label)
+		p := len(c.positions)
+		return posInfo{nullable: false, first: []int{p}, last: []int{p}}
+	case Union:
+		l := c.analyze(a.Left)
+		r := c.analyze(a.Right)
+		return posInfo{
+			nullable: l.nullable || r.nullable,
+			first:    append(append([]int{}, l.first...), r.first...),
+			last:     append(append([]int{}, l.last...), r.last...),
+		}
+	case Concat:
+		l := c.analyze(a.Left)
+		r := c.analyze(a.Right)
+		for _, p := range l.last {
+			c.follow[p] = append(c.follow[p], r.first...)
+		}
+		info := posInfo{nullable: l.nullable && r.nullable}
+		info.first = append(info.first, l.first...)
+		if l.nullable {
+			info.first = append(info.first, r.first...)
+		}
+		info.last = append(info.last, r.last...)
+		if r.nullable {
+			info.last = append(info.last, l.last...)
+		}
+		return info
+	case Star:
+		l := c.analyze(a.Left)
+		for _, p := range l.last {
+			c.follow[p] = append(c.follow[p], l.first...)
+		}
+		return posInfo{nullable: true, first: l.first, last: l.last}
+	}
+	return posInfo{}
+}

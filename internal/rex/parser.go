@@ -1,0 +1,200 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a regular path expression.
+//
+// Grammar (lowest to highest precedence):
+//
+//	expr   := term ('+' term)*
+//	term   := factor ('.'? factor)*      — '.' is optional (juxtaposition)
+//	factor := atom '*'*
+//	atom   := LABEL | '@' | 'ε' | '(' expr ')'
+//
+// LABEL is a run of letters, digits and underscores. '@' and 'ε' both
+// denote the empty path ε.
+func Parse(s string) (*Ast, error) {
+	p := &parser{input: s}
+	p.next()
+	ast, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("rex: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return ast, nil
+}
+
+// MustParse is Parse panicking on error, for tests and fixed queries.
+func MustParse(s string) *Ast {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type tokKind int8
+
+const (
+	tokEOF tokKind = iota
+	tokBad
+	tokLabel
+	tokEps
+	tokPlus
+	tokDot
+	tokStar
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	input string
+	off   int
+	tok   token
+}
+
+func (p *parser) next() {
+	for p.off < len(p.input) && unicode.IsSpace(rune(p.input[p.off])) {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.off]
+	switch c {
+	case '+':
+		p.off++
+		p.tok = token{tokPlus, "+", start}
+	case '.':
+		p.off++
+		p.tok = token{tokDot, ".", start}
+	case '*':
+		p.off++
+		p.tok = token{tokStar, "*", start}
+	case '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+	case ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+	case '@':
+		p.off++
+		p.tok = token{tokEps, "@", start}
+	default:
+		if strings.HasPrefix(p.input[p.off:], "ε") {
+			p.off += len("ε")
+			p.tok = token{tokEps, "ε", start}
+			return
+		}
+		if isLabelByte(c) {
+			end := p.off
+			for end < len(p.input) && isLabelByte(p.input[end]) {
+				end++
+			}
+			p.tok = token{tokLabel, p.input[p.off:end], start}
+			p.off = end
+			return
+		}
+		p.tok = token{tokBad, string(c), start}
+		p.off = len(p.input) // force termination; expr will error out
+	}
+}
+
+func isLabelByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func (p *parser) expr() (*Ast, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus {
+		p.next()
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) term() (*Ast, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokDot:
+			p.next()
+			right, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			left = Cat(left, right)
+		case tokLabel, tokEps, tokLParen:
+			right, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			left = Cat(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) factor() (*Ast, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar {
+		p.next()
+		atom = Rep(atom)
+	}
+	return atom, nil
+}
+
+func (p *parser) atom() (*Ast, error) {
+	switch p.tok.kind {
+	case tokLabel:
+		a := Label(p.tok.text)
+		p.next()
+		return a, nil
+	case tokEps:
+		p.next()
+		return Epsilon(), nil
+	case tokLParen:
+		p.next()
+		inner, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("rex: missing ')' at offset %d", p.tok.pos)
+		}
+		p.next()
+		return inner, nil
+	case tokEOF:
+		return nil, fmt.Errorf("rex: unexpected end of expression at offset %d", p.tok.pos)
+	default:
+		return nil, fmt.Errorf("rex: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+}

@@ -1,0 +1,409 @@
+// Package rpq implements regular path queries (RPQ, Section 2.1 of Fan,
+// Hu & Tian, SIGMOD 2017) and their incrementalization (Section 5.2).
+//
+// The batch algorithm RPQ_NFA [29,33] compiles the query to an ε-free NFA
+// M_Q and, for every source node u whose label can start a word of L(Q),
+// runs a BFS over the intersection (product) graph of G and M_Q. A match
+// (u, w) holds when some product node (w, s) with s accepting is reachable
+// from u's seed states.
+//
+// The auxiliary structure is the marking pmark_e: per source u, node v and
+// state s an entry (dist, cpre, mpre), where dist is the shortest product
+// distance from u's seeds, cpre the product predecessors that carry
+// entries, and mpre the subset on shortest paths. IncRPQ (Fig. 5) repairs
+// these markings: identAff walks mpre supports broken by deletions,
+// potentials are recomputed from unaffected cpre members, insertions seed
+// the same per-source priority queue, and a Dijkstra-style settle decides
+// every affected distance at most once — the cost profile that makes IncRPQ
+// bounded relative to RPQ_NFA.
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"incgraph/internal/cost"
+	"incgraph/internal/graph"
+	"incgraph/internal/pq"
+	"incgraph/internal/rex"
+)
+
+// Unreachable is the distance of entries scheduled for removal.
+const Unreachable = int(1) << 30
+
+// Pair is a query answer: Dst is reachable from Src along a path whose
+// label string is in L(Q).
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// key identifies a product node (graph node, NFA state) within one source's
+// marking table.
+type key struct {
+	v graph.NodeID
+	s int
+}
+
+// entry is one pmark_e record.
+type entry struct {
+	dist int
+	// seed marks source entries (u, s) with s ∈ δ(s0, l(u)); they have
+	// dist 0 and are never affected by updates.
+	seed bool
+	// cpre holds the product predecessors of this node that carry entries.
+	cpre map[key]struct{}
+	// mpre holds the cpre members on shortest product paths
+	// (dist(pred) + 1 == dist).
+	mpre map[key]struct{}
+}
+
+// sourceMark is the marking table of one source node.
+type sourceMark struct {
+	table map[key]*entry
+	// acc counts, per target node, how many accepting states carry entries;
+	// the source matches the target iff acc > 0.
+	acc map[graph.NodeID]int
+}
+
+// Engine maintains Q(G) and the markings under updates.
+type Engine struct {
+	g       *graph.Graph
+	ast     *rex.Ast
+	nfa     *rex.NFA
+	marks   map[graph.NodeID]*sourceMark
+	matches map[Pair]struct{}
+	// srcAt[v][u] counts the states s for which source u has an entry at
+	// node v. It is the inverted index that lets Apply repair only the
+	// sources whose markings an update can possibly touch, keeping the
+	// cost proportional to AFF rather than to the number of sources.
+	srcAt map[graph.NodeID]map[graph.NodeID]int
+	meter *cost.Meter
+}
+
+// NewEngine compiles the query and runs the batch algorithm RPQ_NFA.
+// The meter may be nil.
+func NewEngine(g *graph.Graph, ast *rex.Ast, meter *cost.Meter) (*Engine, error) {
+	if ast == nil {
+		return nil, fmt.Errorf("rpq: nil query")
+	}
+	if err := ast.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:       g,
+		ast:     ast,
+		nfa:     rex.Compile(ast),
+		marks:   make(map[graph.NodeID]*sourceMark),
+		matches: make(map[Pair]struct{}),
+		srcAt:   make(map[graph.NodeID]map[graph.NodeID]int),
+		meter:   meter,
+	}
+	var d Delta
+	g.Nodes(func(u graph.NodeID, _ string) bool {
+		e.ensureSourceAndSettle(u, &d)
+		return true
+	})
+	return e, nil
+}
+
+// Parse is a convenience wrapper: NewEngine with a textual query.
+func Parse(g *graph.Graph, query string, meter *cost.Meter) (*Engine, error) {
+	ast, err := rex.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(g, ast, meter)
+}
+
+// ensureSourceAndSettle creates the seed entries of source u (when u can
+// start a word of L(Q)) and runs the product BFS/settle from them. It is
+// used both by the batch build and for nodes introduced by insertions.
+func (e *Engine) ensureSourceAndSettle(u graph.NodeID, d *Delta) {
+	q := e.seedSource(u, d)
+	if q != nil {
+		e.settle(u, q, d)
+		e.meter.AddHeapOps(q.Ops)
+	}
+}
+
+// seedSource installs the seed entries of u and returns a queue containing
+// them, or nil when u is not a source. Calling it again is a no-op.
+func (e *Engine) seedSource(u graph.NodeID, d *Delta) *pq.Heap[key] {
+	if _, done := e.marks[u]; done {
+		return nil
+	}
+	starts := e.nfa.Next(e.nfa.Start(), e.g.Label(u))
+	if len(starts) == 0 {
+		return nil
+	}
+	sm := &sourceMark{table: make(map[key]*entry), acc: make(map[graph.NodeID]int)}
+	e.marks[u] = sm
+	q := pq.New[key]()
+	for _, s := range starts {
+		k := key{u, s}
+		sm.table[k] = &entry{
+			dist: 0,
+			seed: true,
+			cpre: make(map[key]struct{}),
+			mpre: make(map[key]struct{}),
+		}
+		e.meter.AddEntries(1)
+		e.noteEntryCreated(u, k, d)
+		q.Push(k, 0)
+	}
+	return q
+}
+
+// noteEntryCreated maintains the inverted index, the acc counts and the
+// match set when an entry appears.
+func (e *Engine) noteEntryCreated(u graph.NodeID, k key, d *Delta) {
+	at := e.srcAt[k.v]
+	if at == nil {
+		at = make(map[graph.NodeID]int)
+		e.srcAt[k.v] = at
+	}
+	at[u]++
+	if !e.nfa.Accepting(k.s) {
+		return
+	}
+	sm := e.marks[u]
+	sm.acc[k.v]++
+	if sm.acc[k.v] == 1 {
+		p := Pair{u, k.v}
+		e.matches[p] = struct{}{}
+		if d != nil {
+			d.note(p, true)
+		}
+	}
+}
+
+// noteEntryRemoved is the inverse of noteEntryCreated.
+func (e *Engine) noteEntryRemoved(u graph.NodeID, k key, d *Delta) {
+	if at := e.srcAt[k.v]; at != nil {
+		at[u]--
+		if at[u] == 0 {
+			delete(at, u)
+			if len(at) == 0 {
+				delete(e.srcAt, k.v)
+			}
+		}
+	}
+	if !e.nfa.Accepting(k.s) {
+		return
+	}
+	sm := e.marks[u]
+	sm.acc[k.v]--
+	if sm.acc[k.v] == 0 {
+		delete(sm.acc, k.v)
+		p := Pair{u, k.v}
+		delete(e.matches, p)
+		if d != nil {
+			d.note(p, false)
+		}
+	}
+}
+
+// settle runs the shared priority-queue phase: it pops product nodes in
+// nondecreasing distance order and relaxes their product successors,
+// creating entries on first reach (Fig. 5 line 9). With all-zero seeds this
+// is exactly the batch BFS of RPQ_NFA.
+func (e *Engine) settle(u graph.NodeID, q *pq.Heap[key], d *Delta) {
+	sm := e.marks[u]
+	for q.Len() > 0 {
+		k, dist, _ := q.Pop()
+		e.meter.AddNodes(1)
+		ent := sm.table[k]
+		if ent == nil || ent.dist != dist {
+			continue // superseded
+		}
+		// The queue is monotone, so every cpre member with distance below
+		// dist is final: mpre can be decided exactly, once, right here.
+		ent.mpre = make(map[key]struct{}, len(ent.cpre))
+		for p := range ent.cpre {
+			e.meter.AddEdges(1)
+			if pe := sm.table[p]; pe != nil && pe.dist+1 == dist {
+				ent.mpre[p] = struct{}{}
+			}
+		}
+		e.g.Successors(k.v, func(y graph.NodeID) bool {
+			e.meter.AddEdges(1)
+			for _, sy := range e.nfa.Next(k.s, e.g.Label(y)) {
+				ky := key{y, sy}
+				ey := sm.table[ky]
+				cand := dist + 1
+				switch {
+				case ey == nil:
+					ey = &entry{
+						dist: cand,
+						cpre: map[key]struct{}{k: {}},
+						mpre: map[key]struct{}{k: {}},
+					}
+					sm.table[ky] = ey
+					e.meter.AddEntries(1)
+					e.noteEntryCreated(u, ky, d)
+					q.Push(ky, cand)
+				case cand < ey.dist:
+					ey.dist = cand
+					ey.cpre[k] = struct{}{}
+					ey.mpre = map[key]struct{}{k: {}}
+					e.meter.AddEntries(1)
+					q.Push(ky, cand)
+				case cand == ey.dist:
+					ey.cpre[k] = struct{}{}
+					ey.mpre[k] = struct{}{}
+				default:
+					ey.cpre[k] = struct{}{}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Graph returns the underlying graph (shared, mutated by Apply*).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Query returns the compiled query.
+func (e *Engine) Query() *rex.Ast { return e.ast }
+
+// NumMatches returns |Q(G)|.
+func (e *Engine) NumMatches() int { return len(e.matches) }
+
+// HasMatch reports whether (src, dst) ∈ Q(G).
+func (e *Engine) HasMatch(src, dst graph.NodeID) bool {
+	_, ok := e.matches[Pair{src, dst}]
+	return ok
+}
+
+// Matches returns Q(G) sorted by (Src, Dst).
+func (e *Engine) Matches() []Pair {
+	out := make([]Pair, 0, len(e.matches))
+	for p := range e.matches {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// BatchAnswer evaluates Q(G) from scratch and returns the match set: the
+// RPQ_NFA baseline of the experiments.
+func BatchAnswer(g *graph.Graph, ast *rex.Ast, meter *cost.Meter) ([]Pair, error) {
+	e, err := NewEngine(g, ast, meter)
+	if err != nil {
+		return nil, err
+	}
+	return e.Matches(), nil
+}
+
+// Dist returns the shortest product distance recorded for (src, dst, s),
+// or false when no marking exists. Tests use it to inspect pmark_e.
+func (e *Engine) Dist(src, dst graph.NodeID, s int) (int, bool) {
+	sm := e.marks[src]
+	if sm == nil {
+		return 0, false
+	}
+	ent := sm.table[key{dst, s}]
+	if ent == nil {
+		return 0, false
+	}
+	return ent.dist, true
+}
+
+// Check audits the engine against a fresh batch build: identical marking
+// tables (keys, distances, cpre and mpre sets) and identical match sets.
+func (e *Engine) Check() error {
+	fresh, err := NewEngine(e.g.Clone(), e.ast, nil)
+	if err != nil {
+		return err
+	}
+	if len(fresh.marks) != len(e.marks) {
+		return fmt.Errorf("rpq: %d source tables, batch rebuild has %d", len(e.marks), len(fresh.marks))
+	}
+	for u, sm := range e.marks {
+		fm := fresh.marks[u]
+		if fm == nil {
+			return fmt.Errorf("rpq: spurious source table for %d", u)
+		}
+		if len(fm.table) != len(sm.table) {
+			return fmt.Errorf("rpq: source %d has %d entries, batch has %d", u, len(sm.table), len(fm.table))
+		}
+		for k, ent := range sm.table {
+			fe := fm.table[k]
+			if fe == nil {
+				return fmt.Errorf("rpq: source %d: spurious entry %v", u, k)
+			}
+			if fe.dist != ent.dist {
+				return fmt.Errorf("rpq: source %d entry %v: dist %d, batch says %d", u, k, ent.dist, fe.dist)
+			}
+			if ent.seed != fe.seed {
+				return fmt.Errorf("rpq: source %d entry %v: seed flag differs", u, k)
+			}
+			if err := sameKeySet(ent.cpre, fe.cpre); err != nil {
+				return fmt.Errorf("rpq: source %d entry %v cpre: %v", u, k, err)
+			}
+			if err := sameKeySet(ent.mpre, fe.mpre); err != nil {
+				return fmt.Errorf("rpq: source %d entry %v mpre: %v", u, k, err)
+			}
+		}
+		if len(fm.acc) != len(sm.acc) {
+			return fmt.Errorf("rpq: source %d acc size differs", u)
+		}
+		for v, n := range sm.acc {
+			if fm.acc[v] != n {
+				return fmt.Errorf("rpq: source %d acc[%d] = %d, batch says %d", u, v, n, fm.acc[v])
+			}
+		}
+	}
+	if len(fresh.matches) != len(e.matches) {
+		return fmt.Errorf("rpq: %d matches, batch has %d", len(e.matches), len(fresh.matches))
+	}
+	for p := range e.matches {
+		if _, ok := fresh.matches[p]; !ok {
+			return fmt.Errorf("rpq: spurious match %v", p)
+		}
+	}
+	// The inverted index must count entries exactly.
+	wantAt := make(map[graph.NodeID]map[graph.NodeID]int)
+	for u, sm := range e.marks {
+		for k := range sm.table {
+			at := wantAt[k.v]
+			if at == nil {
+				at = make(map[graph.NodeID]int)
+				wantAt[k.v] = at
+			}
+			at[u]++
+		}
+	}
+	if len(wantAt) != len(e.srcAt) {
+		return fmt.Errorf("rpq: inverted index covers %d nodes, want %d", len(e.srcAt), len(wantAt))
+	}
+	for v, at := range wantAt {
+		got := e.srcAt[v]
+		if len(got) != len(at) {
+			return fmt.Errorf("rpq: inverted index at node %d has %d sources, want %d", v, len(got), len(at))
+		}
+		for u, n := range at {
+			if got[u] != n {
+				return fmt.Errorf("rpq: inverted index at node %d source %d = %d, want %d", v, u, got[u], n)
+			}
+		}
+	}
+	return nil
+}
+
+func sameKeySet(a, b map[key]struct{}) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("size %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return fmt.Errorf("extra member %v", k)
+		}
+	}
+	return nil
+}

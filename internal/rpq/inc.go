@@ -1,0 +1,329 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"incgraph/internal/graph"
+	"incgraph/internal/pq"
+)
+
+// This file implements IncRPQ (Fig. 5) and the unit-at-a-time baseline
+// IncRPQn.
+
+// Delta describes changes ΔO to Q(G).
+type Delta struct {
+	Added   []Pair
+	Removed []Pair
+	// pending accumulates transitions during an Apply; opposite transitions
+	// of the same pair cancel (the pair was only transiently a match).
+	pending map[Pair]bool
+}
+
+// Empty reports whether the output was unaffected.
+func (d *Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// note records a match transition.
+func (d *Delta) note(p Pair, added bool) {
+	if d.pending == nil {
+		d.pending = make(map[Pair]bool)
+	}
+	if cur, ok := d.pending[p]; ok && cur != added {
+		delete(d.pending, p)
+		return
+	}
+	d.pending[p] = added
+}
+
+// finish materializes the pending transitions into sorted Added/Removed.
+func (d *Delta) finish() {
+	for p, added := range d.pending {
+		if added {
+			d.Added = append(d.Added, p)
+		} else {
+			d.Removed = append(d.Removed, p)
+		}
+	}
+	d.pending = nil
+	less := func(ps []Pair) func(i, j int) bool {
+		return func(i, j int) bool {
+			if ps[i].Src != ps[j].Src {
+				return ps[i].Src < ps[j].Src
+			}
+			return ps[i].Dst < ps[j].Dst
+		}
+	}
+	sort.Slice(d.Added, less(d.Added))
+	sort.Slice(d.Removed, less(d.Removed))
+}
+
+// Apply processes a batch ΔG with IncRPQ. The batch is normalized; node
+// creation side effects of cancelled insertions are preserved.
+func (e *Engine) Apply(batch graph.Batch) (Delta, error) {
+	var d Delta
+	// New nodes first (they may be new sources).
+	var newNodes []graph.NodeID
+	for _, u := range batch {
+		if u.Op != graph.Insert {
+			continue
+		}
+		if e.g.EnsureNode(u.From, u.FromLabel) {
+			newNodes = append(newNodes, u.From)
+		}
+		if e.g.EnsureNode(u.To, u.ToLabel) {
+			newNodes = append(newNodes, u.To)
+		}
+	}
+	batch = batch.Normalize()
+	for _, u := range batch {
+		if u.Op == graph.Delete && !e.g.HasEdge(u.From, u.To) {
+			return Delta{}, fmt.Errorf("rpq: %w: delete of missing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
+		}
+		if u.Op == graph.Insert && e.g.HasEdge(u.From, u.To) {
+			return Delta{}, fmt.Errorf("rpq: %w: insert of existing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
+		}
+	}
+	// Structural updates first; markings are repaired afterwards.
+	for _, u := range batch {
+		if u.Op == graph.Insert {
+			e.g.AddEdge(u.From, u.To)
+		} else {
+			e.g.DeleteEdge(u.From, u.To)
+		}
+	}
+	ins, dels := batch.Split()
+	// Route each update to the sources whose markings it can touch, via
+	// the inverted index: an update on edge (v, w) is relevant to source u
+	// only if u has an entry at v (deletion support / insertion
+	// relaxation) — sources without one cannot be affected.
+	relIns := make(map[graph.NodeID]graph.Batch)
+	relDels := make(map[graph.NodeID]graph.Batch)
+	for _, u := range dels {
+		for src := range e.srcAt[u.From] {
+			relDels[src] = append(relDels[src], u)
+		}
+	}
+	for _, u := range ins {
+		for src := range e.srcAt[u.From] {
+			relIns[src] = append(relIns[src], u)
+		}
+	}
+	touched := make(map[graph.NodeID]bool, len(relIns)+len(relDels))
+	for src := range relDels {
+		touched[src] = true
+	}
+	for src := range relIns {
+		touched[src] = true
+	}
+	for src := range touched {
+		e.repairSource(src, relIns[src], relDels[src], &d)
+	}
+	// Brand-new nodes may open brand-new sources: full product BFS for
+	// them (their markings are part of AFF — data newly inspected).
+	for _, v := range newNodes {
+		e.ensureSourceAndSettle(v, &d)
+	}
+	d.finish()
+	return d, nil
+}
+
+// ApplyUnitwise is IncRPQn: the batch is processed one unit update at a
+// time.
+func (e *Engine) ApplyUnitwise(batch graph.Batch) (Delta, error) {
+	var total Delta
+	for _, u := range batch {
+		d, err := e.Apply(graph.Batch{u})
+		if err != nil {
+			return Delta{}, err
+		}
+		for _, p := range d.Added {
+			total.note(p, true)
+		}
+		for _, p := range d.Removed {
+			total.note(p, false)
+		}
+	}
+	total.finish()
+	return total, nil
+}
+
+// ApplyInsert processes one unit insertion.
+func (e *Engine) ApplyInsert(u graph.Update) (Delta, error) {
+	if u.Op != graph.Insert {
+		return Delta{}, fmt.Errorf("rpq: ApplyInsert got %v", u)
+	}
+	return e.Apply(graph.Batch{u})
+}
+
+// ApplyDelete processes one unit deletion.
+func (e *Engine) ApplyDelete(u graph.Update) (Delta, error) {
+	if u.Op != graph.Delete {
+		return Delta{}, fmt.Errorf("rpq: ApplyDelete got %v", u)
+	}
+	return e.Apply(graph.Batch{u})
+}
+
+// repairSource fixes the marking table of source src after the updates:
+// identAff (Fig. 5 line 1), potentials (lines 2–4), insertion seeding
+// (lines 5–8), settle (line 9) and removal of unreachable entries.
+func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta) {
+	sm := e.marks[src]
+	affected := e.identAff(sm, dels)
+	q := pq.New[key]()
+	// Potentials from unaffected cpre members (Fig. 5 lines 2–4).
+	for k := range affected {
+		ent := sm.table[k]
+		best := Unreachable
+		for p := range ent.cpre {
+			e.meter.AddEdges(1)
+			if affected[p] {
+				continue
+			}
+			if pd := sm.table[p].dist + 1; pd < best {
+				best = pd
+			}
+		}
+		ent.dist = best
+		ent.mpre = make(map[key]struct{})
+		e.meter.AddEntries(1)
+		if best < Unreachable {
+			q.Push(k, best)
+		}
+	}
+	// Insertions between unaffected endpoints seed the queue (lines 5–8);
+	// cpre links are structural and recorded regardless of distances.
+	for _, u := range ins {
+		lblTo := e.g.Label(u.To)
+		for s := 0; s < e.nfa.NumStates(); s++ {
+			kv := key{u.From, s}
+			ev := sm.table[kv]
+			if ev == nil {
+				continue
+			}
+			for _, s2 := range e.nfa.Next(s, lblTo) {
+				kw := key{u.To, s2}
+				ew := sm.table[kw]
+				cand := ev.dist + 1
+				if affected[kv] {
+					// The tentative distance of kv already accounted for
+					// this edge via cpre; only the structural link is new.
+					if ew != nil {
+						ew.cpre[kv] = struct{}{}
+					}
+					continue
+				}
+				switch {
+				case ew == nil:
+					if cand >= Unreachable {
+						continue
+					}
+					ew = &entry{
+						dist: cand,
+						cpre: map[key]struct{}{kv: {}},
+						mpre: map[key]struct{}{kv: {}},
+					}
+					sm.table[kw] = ew
+					e.meter.AddEntries(1)
+					e.noteEntryCreated(src, kw, d)
+					q.Push(kw, cand)
+				case cand < ew.dist:
+					ew.dist = cand
+					ew.cpre[kv] = struct{}{}
+					ew.mpre = map[key]struct{}{kv: {}}
+					e.meter.AddEntries(1)
+					q.Push(kw, cand)
+				case cand == ew.dist:
+					ew.cpre[kv] = struct{}{}
+					ew.mpre[kv] = struct{}{}
+				default:
+					ew.cpre[kv] = struct{}{}
+				}
+			}
+		}
+	}
+	// Settle exact values (line 9).
+	e.settle(src, q, d)
+	e.meter.AddHeapOps(q.Ops)
+	// Entries that stayed unreachable disappear, together with their
+	// structural links in successors.
+	for k := range affected {
+		ent := sm.table[k]
+		if ent == nil || ent.dist < Unreachable {
+			continue
+		}
+		delete(sm.table, k)
+		e.noteEntryRemoved(src, k, d)
+		e.meter.AddEntries(1)
+		e.g.Successors(k.v, func(y graph.NodeID) bool {
+			for _, sy := range e.nfa.Next(k.s, e.g.Label(y)) {
+				if ey := sm.table[key{y, sy}]; ey != nil {
+					delete(ey.cpre, k)
+					delete(ey.mpre, k)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// identAff implements Fig. 5 line 1: remove the structural links broken by
+// the deletions and mark every entry whose mpre support drains away,
+// propagating through mpre members transitively.
+func (e *Engine) identAff(sm *sourceMark, dels graph.Batch) map[key]bool {
+	affected := make(map[key]bool)
+	var stack []key
+	markAffected := func(k key) {
+		if !affected[k] && !sm.table[k].seed {
+			affected[k] = true
+			stack = append(stack, k)
+		}
+	}
+	for _, u := range dels {
+		lblTo := e.g.Label(u.To)
+		for s := 0; s < e.nfa.NumStates(); s++ {
+			kv := key{u.From, s}
+			if sm.table[kv] == nil {
+				continue
+			}
+			for _, s2 := range e.nfa.Next(s, lblTo) {
+				kw := key{u.To, s2}
+				ew := sm.table[kw]
+				if ew == nil {
+					continue
+				}
+				delete(ew.cpre, kv)
+				if _, inM := ew.mpre[kv]; inM {
+					delete(ew.mpre, kv)
+					if len(ew.mpre) == 0 {
+						markAffected(kw)
+					}
+				}
+			}
+		}
+	}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.meter.AddNodes(1)
+		// Successors that relied on k for their shortest paths lose that
+		// support.
+		e.g.Successors(k.v, func(y graph.NodeID) bool {
+			e.meter.AddEdges(1)
+			for _, sy := range e.nfa.Next(k.s, e.g.Label(y)) {
+				ky := key{y, sy}
+				ey := sm.table[ky]
+				if ey == nil || affected[ky] {
+					continue
+				}
+				if _, inM := ey.mpre[k]; inM {
+					delete(ey.mpre, k)
+					if len(ey.mpre) == 0 {
+						markAffected(ky)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return affected
+}

@@ -1,0 +1,86 @@
+package rpq
+
+import (
+	"fmt"
+
+	"incgraph/internal/graph"
+)
+
+// Witness returns a shortest path (v0 = src, …, vn = dst) whose label
+// string is in L(Q), certifying the match (src, dst) — the provenance of an
+// RPQ answer. It is reconstructed from the maintained markings by walking
+// mpre pointers backwards from an accepting entry, so it costs O(path) and
+// stays valid across incremental updates. ok is false when (src, dst) is
+// not a match.
+func (e *Engine) Witness(src, dst graph.NodeID) ([]graph.NodeID, bool) {
+	sm := e.marks[src]
+	if sm == nil || sm.acc[dst] == 0 {
+		return nil, false
+	}
+	// Pick the accepting entry at dst with the smallest distance, breaking
+	// ties by state for determinism.
+	best := key{v: -1}
+	bestDist := Unreachable + 1
+	for s := 0; s < e.nfa.NumStates(); s++ {
+		if !e.nfa.Accepting(s) {
+			continue
+		}
+		if ent := sm.table[key{dst, s}]; ent != nil && ent.dist < bestDist {
+			best = key{dst, s}
+			bestDist = ent.dist
+		}
+	}
+	if best.v == -1 {
+		return nil, false
+	}
+	// Walk mpre back to the seed. Each step decreases dist by one, so the
+	// walk terminates in exactly bestDist steps.
+	path := make([]graph.NodeID, bestDist+1)
+	cur := best
+	for i := bestDist; ; i-- {
+		path[i] = cur.v
+		ent := sm.table[cur]
+		if ent == nil {
+			return nil, false // inconsistent marking; cannot happen
+		}
+		if ent.dist == 0 {
+			break
+		}
+		picked := false
+		var next key
+		for p := range ent.mpre {
+			if !picked || p.v < next.v || p.v == next.v && p.s < next.s {
+				next = p
+				picked = true
+			}
+		}
+		if !picked {
+			return nil, false // inconsistent marking; cannot happen
+		}
+		cur = next
+	}
+	return path, true
+}
+
+// VerifyWitness checks that a path certifies a match of the engine's query:
+// consecutive edges exist and the label string is in L(Q). Tests and
+// auditing use it.
+func (e *Engine) VerifyWitness(path []graph.NodeID) error {
+	if len(path) == 0 {
+		return fmt.Errorf("rpq: empty witness")
+	}
+	labels := make([]string, len(path))
+	for i, v := range path {
+		if !e.g.HasNode(v) {
+			return fmt.Errorf("rpq: witness node %d missing", v)
+		}
+		labels[i] = e.g.Label(v)
+		if i > 0 && !e.g.HasEdge(path[i-1], v) {
+			return fmt.Errorf("rpq: witness edge (%d,%d) missing", path[i-1], v)
+		}
+	}
+	if !e.ast.MatchSeq(labels) {
+		return fmt.Errorf("rpq: witness labels %v not in L(%s)", labels, e.ast)
+	}
+	return nil
+}

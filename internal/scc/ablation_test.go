@@ -1,0 +1,117 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+
+	"incgraph/internal/graph"
+)
+
+// TestNoRepairEquivalence verifies that disabling the tree-arc re-parenting
+// fast path (the ablation switch) changes performance only — outputs and
+// invariants must be identical to the default configuration.
+func TestNoRepairEquivalence(t *testing.T) {
+	for seed := int64(200); seed < 212; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(15)
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(graph.NodeID(i), "x")
+		}
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		batch := randomMutation(rng, g, 20)
+
+		a := Build(g.Clone(), nil)
+		if _, err := a.Apply(batch); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b := Build(g.Clone(), nil)
+		b.SetTreeArcRepair(false)
+		if _, err := b.Apply(batch); err != nil {
+			t.Fatalf("seed %d (norepair): %v", seed, err)
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d (norepair): %v", seed, err)
+		}
+		if !partitionsEqual(a.ComponentsSorted(), b.ComponentsSorted()) {
+			t.Fatalf("seed %d: repair ablation changed the output", seed)
+		}
+	}
+}
+
+// TestRepairedTreeStaysSound drives long unit-update sequences on a graph
+// with one big cyclic component so the tree-arc repair path fires often,
+// then audits the full state.
+func TestRepairedTreeStaysSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 40
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.NodeID(i), "x")
+	}
+	// Two interleaved cycles → one robust scc.
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+7)%n))
+	}
+	s := mustState(t, g)
+	if s.NumComponents() != 1 {
+		t.Fatalf("setup: want one scc")
+	}
+	for step := 0; step < 400; step++ {
+		v := graph.NodeID(rng.Intn(n))
+		w := graph.NodeID(rng.Intn(n))
+		if v == w {
+			continue
+		}
+		var err error
+		if g.HasEdge(v, w) {
+			_, err = s.ApplyDelete(graph.Del(v, w))
+		} else {
+			_, err = s.ApplyInsert(graph.Ins(v, w))
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%40 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaTrackerTransients ensures delta bookkeeping nets out across
+// merge+split+merge chains inside one batch.
+func TestDeltaTrackerTransients(t *testing.T) {
+	g := mkGraph(6, [][2]int64{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5}, {5, 4}})
+	s := mustState(t, g)
+	batch := graph.Batch{
+		graph.Ins(1, 2), graph.Ins(3, 0), // merge {0,1} and {2,3}
+		graph.Ins(3, 4), graph.Ins(5, 2), // absorb {4,5}
+	}
+	delta, err := s.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumComponents() != 1 {
+		t.Fatalf("want single merged component, have %v", s.ComponentsSorted())
+	}
+	if len(delta.Added) != 1 || len(delta.Added[0]) != 6 {
+		t.Fatalf("delta.Added = %v", delta.Added)
+	}
+	if len(delta.Removed) != 3 {
+		t.Fatalf("delta.Removed = %v", delta.Removed)
+	}
+}

@@ -1,0 +1,172 @@
+// Package scc implements strongly connected component maintenance after
+// Fan, Hu & Tian (SIGMOD 2017, Section 5.3): Tarjan's batch algorithm [43]
+// extended with the auxiliary structures the paper maintains (num, lowlink,
+// DFS-tree parents, edge classification, a contracted graph G_c with edge
+// counters and topological ranks), and the relatively bounded incremental
+// algorithms IncSCC+ (Fig. 7), IncSCC− and batch IncSCC, plus the DynSCC
+// baseline used in the experiments.
+package scc
+
+import "sort"
+
+// Result carries everything a Tarjan run produces: the components in
+// completion order (reverse topological w.r.t. the condensation), and per
+// node the visit number, lowlink, DFS-tree parent and subtree extent.
+type Result[K comparable] struct {
+	// Comps lists the strongly connected components in the order Tarjan
+	// emits them: a component appears only after every component it can
+	// reach, i.e. reverse topological order.
+	Comps [][]K
+	// Num is the DFS visit order (preorder), starting at 1.
+	Num map[K]int
+	// Low is Tarjan's lowlink.
+	Low map[K]int
+	// Parent is the DFS-tree parent; roots of DFS trees are absent.
+	Parent map[K]K
+	// Desc is the largest Num in the node's DFS subtree; with Num it gives
+	// the preorder interval used to classify edges.
+	Desc map[K]int
+}
+
+// Run performs an iterative Tarjan over the given nodes; succ enumerates
+// direct successors. Nodes are explored in slice order, which makes runs
+// deterministic when callers pass sorted nodes and sorted successors.
+func Run[K comparable](nodes []K, succ func(v K, yield func(w K) bool)) *Result[K] {
+	r := &Result[K]{
+		Num:    make(map[K]int, len(nodes)),
+		Low:    make(map[K]int, len(nodes)),
+		Parent: make(map[K]K),
+		Desc:   make(map[K]int, len(nodes)),
+	}
+	index := 1
+	var stack []K
+	onStack := make(map[K]bool, len(nodes))
+
+	type frame struct {
+		v     K
+		succs []K
+		i     int
+	}
+	var frames []frame
+
+	visit := func(v K) {
+		r.Num[v] = index
+		r.Low[v] = index
+		index++
+		stack = append(stack, v)
+		onStack[v] = true
+		var ss []K
+		succ(v, func(w K) bool {
+			ss = append(ss, w)
+			return true
+		})
+		frames = append(frames, frame{v: v, succs: ss})
+	}
+
+	for _, root := range nodes {
+		if _, seen := r.Num[root]; seen {
+			continue
+		}
+		visit(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			descended := false
+			for f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, seen := r.Num[w]; !seen {
+					r.Parent[w] = f.v
+					visit(w)
+					descended = true
+					break
+				}
+				if onStack[w] && r.Num[w] < r.Low[f.v] {
+					r.Low[f.v] = r.Num[w]
+				}
+			}
+			if descended {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			r.Desc[v] = index - 1
+			if r.Low[v] == r.Num[v] {
+				var comp []K
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				r.Comps = append(r.Comps, comp)
+			}
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if r.Low[v] < r.Low[p.v] {
+					r.Low[p.v] = r.Low[v]
+				}
+			}
+		}
+	}
+	return r
+}
+
+// EdgeType classifies edge (v, w) relative to the DFS forest of the run,
+// following Tarjan's taxonomy quoted in Section 5.3 of the paper.
+type EdgeType int8
+
+// Edge classes.
+const (
+	TreeArc      EdgeType = iota // leads to a newly discovered node
+	Frond                        // runs from a descendant to an ancestor
+	ReverseFrond                 // runs from an ancestor to a descendant
+	CrossLink                    // runs between unrelated subtrees
+)
+
+func (t EdgeType) String() string {
+	switch t {
+	case TreeArc:
+		return "tree-arc"
+	case Frond:
+		return "frond"
+	case ReverseFrond:
+		return "reverse-frond"
+	case CrossLink:
+		return "cross-link"
+	}
+	return "unknown"
+}
+
+// EdgeType classifies the edge (v, w); both nodes must have been visited.
+func (r *Result[K]) EdgeType(v, w K) EdgeType {
+	if p, ok := r.Parent[w]; ok && p == v {
+		return TreeArc
+	}
+	nv, nw := r.Num[v], r.Num[w]
+	switch {
+	case nw < nv && nv <= r.Desc[w]:
+		return Frond
+	case nv < nw && nw <= r.Desc[v]:
+		return ReverseFrond
+	default:
+		return CrossLink
+	}
+}
+
+// CompsSorted returns the components with members sorted and the list
+// ordered by smallest member: the canonical form used to compare outputs.
+func (r *Result[K]) CompsSorted(less func(a, b K) bool) [][]K {
+	out := make([][]K, len(r.Comps))
+	for i, c := range r.Comps {
+		cc := make([]K, len(c))
+		copy(cc, c)
+		sort.Slice(cc, func(x, y int) bool { return less(cc[x], cc[y]) })
+		out[i] = cc
+	}
+	sort.Slice(out, func(x, y int) bool { return less(out[x][0], out[y][0]) })
+	return out
+}

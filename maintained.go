@@ -1,0 +1,97 @@
+package incgraph
+
+import "fmt"
+
+// Maintained is the common surface of the four incrementally maintained
+// query classes: apply a batch ΔG, learn how the answer moved. It lets
+// callers drive heterogeneous standing queries uniformly (see
+// examples/social_stream for the long-hand version).
+type Maintained interface {
+	// Apply applies ΔG to the underlying graph and repairs the answer,
+	// returning a summary of ΔO. Class-specific deltas remain available on
+	// the concrete types.
+	Apply(batch Batch) (DeltaSummary, error)
+	// Size returns the current answer cardinality (|Q(G)| — match roots,
+	// match pairs, embeddings, or components).
+	Size() int
+	// Class names the query class ("kws", "rpq", "scc", "iso").
+	Class() string
+	// Graph returns the maintained graph (shared and mutated by Apply).
+	Graph() *Graph
+}
+
+// DeltaSummary is the class-agnostic view of an output change ΔO.
+type DeltaSummary struct {
+	Added, Removed, Updated int
+}
+
+// Empty reports whether the answer was unaffected.
+func (d DeltaSummary) Empty() bool { return d.Added == 0 && d.Removed == 0 && d.Updated == 0 }
+
+func (d DeltaSummary) String() string {
+	return fmt.Sprintf("ΔO{+%d −%d ~%d}", d.Added, d.Removed, d.Updated)
+}
+
+// MaintainKWS adapts a keyword-search index.
+func MaintainKWS(ix *KWSIndex) Maintained { return kwsAdapter{ix} }
+
+// MaintainRPQ adapts a regular-path-query engine.
+func MaintainRPQ(e *RPQEngine) Maintained { return rpqAdapter{e} }
+
+// MaintainSCC adapts a strongly-connected-components state.
+func MaintainSCC(s *SCCState) Maintained { return sccAdapter{s} }
+
+// MaintainISO adapts a subgraph-isomorphism index.
+func MaintainISO(ix *ISOIndex) Maintained { return isoAdapter{ix} }
+
+type kwsAdapter struct{ ix *KWSIndex }
+
+func (a kwsAdapter) Apply(batch Batch) (DeltaSummary, error) {
+	d, err := a.ix.Apply(batch)
+	if err != nil {
+		return DeltaSummary{}, err
+	}
+	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed), Updated: len(d.Updated)}, nil
+}
+func (a kwsAdapter) Size() int     { return a.ix.NumMatches() }
+func (a kwsAdapter) Class() string { return "kws" }
+func (a kwsAdapter) Graph() *Graph { return a.ix.Graph() }
+
+type rpqAdapter struct{ e *RPQEngine }
+
+func (a rpqAdapter) Apply(batch Batch) (DeltaSummary, error) {
+	d, err := a.e.Apply(batch)
+	if err != nil {
+		return DeltaSummary{}, err
+	}
+	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed)}, nil
+}
+func (a rpqAdapter) Size() int     { return a.e.NumMatches() }
+func (a rpqAdapter) Class() string { return "rpq" }
+func (a rpqAdapter) Graph() *Graph { return a.e.Graph() }
+
+type sccAdapter struct{ s *SCCState }
+
+func (a sccAdapter) Apply(batch Batch) (DeltaSummary, error) {
+	d, err := a.s.Apply(batch)
+	if err != nil {
+		return DeltaSummary{}, err
+	}
+	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed)}, nil
+}
+func (a sccAdapter) Size() int     { return a.s.NumComponents() }
+func (a sccAdapter) Class() string { return "scc" }
+func (a sccAdapter) Graph() *Graph { return a.s.Graph() }
+
+type isoAdapter struct{ ix *ISOIndex }
+
+func (a isoAdapter) Apply(batch Batch) (DeltaSummary, error) {
+	d, err := a.ix.Apply(batch)
+	if err != nil {
+		return DeltaSummary{}, err
+	}
+	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed)}, nil
+}
+func (a isoAdapter) Size() int     { return a.ix.NumMatches() }
+func (a isoAdapter) Class() string { return "iso" }
+func (a isoAdapter) Graph() *Graph { return a.ix.Graph() }

@@ -1,0 +1,78 @@
+package incgraph_test
+
+import (
+	"testing"
+
+	"incgraph"
+)
+
+func TestMaintainedUniformDriver(t *testing.T) {
+	base := incgraph.NewGraph()
+	for id, l := range map[incgraph.NodeID]string{1: "a", 2: "b", 3: "c", 4: "a"} {
+		base.AddNode(id, l)
+	}
+	base.AddEdge(1, 2)
+	base.AddEdge(2, 3)
+	base.AddEdge(4, 2)
+
+	kws, err := incgraph.NewKWS(base.Clone(), incgraph.KWSQuery{Keywords: []string{"b", "c"}, Bound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpq, err := incgraph.NewRPQ(base.Clone(), "a.b.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := incgraph.NewGraph()
+	pg.AddNode(0, "a")
+	pg.AddNode(1, "b")
+	pg.AddEdge(0, 1)
+	pat, err := incgraph.NewPattern(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []incgraph.Maintained{
+		incgraph.MaintainKWS(kws),
+		incgraph.MaintainRPQ(rpq),
+		incgraph.MaintainSCC(incgraph.NewSCC(base.Clone())),
+		incgraph.MaintainISO(incgraph.NewISO(base.Clone(), pat)),
+	}
+	classes := map[string]bool{}
+	for _, q := range queries {
+		classes[q.Class()] = true
+		if q.Size() < 0 {
+			t.Fatalf("%s: negative size", q.Class())
+		}
+		if q.Graph() == nil {
+			t.Fatalf("%s: nil graph", q.Class())
+		}
+	}
+	if len(classes) != 4 {
+		t.Fatalf("classes = %v", classes)
+	}
+
+	batch := incgraph.Batch{incgraph.Del(2, 3), incgraph.Ins(1, 3)}
+	for _, q := range queries {
+		before := q.Size()
+		d, err := q.Apply(batch)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Class(), err)
+		}
+		expected := before + d.Added - d.Removed
+		// Updated entries do not change cardinality.
+		if q.Class() == "kws" || q.Class() == "rpq" || q.Class() == "iso" || q.Class() == "scc" {
+			if q.Size() != expected {
+				t.Fatalf("%s: size %d, summary says %d (%v)", q.Class(), q.Size(), expected, d)
+			}
+		}
+	}
+
+	// Errors propagate.
+	if _, err := queries[0].Apply(incgraph.Batch{incgraph.Del(9, 9)}); err == nil {
+		t.Fatalf("bad batch accepted")
+	}
+	if (incgraph.DeltaSummary{}).String() == "" || !(incgraph.DeltaSummary{}).Empty() {
+		t.Fatalf("DeltaSummary basics broken")
+	}
+}
