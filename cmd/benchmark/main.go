@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0]
+//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-json]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	points := flag.Int("points", 0, "truncate each sweep to N points (0 = full sweep)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON object per experiment (id, points, ns/op) instead of tables")
 	flag.Parse()
 
 	if *list {
@@ -38,7 +39,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
 			os.Exit(1)
 		}
-		if err := res.Format(os.Stdout); err != nil {
+		emit := res.Format
+		if *asJSON {
+			emit = res.FormatJSON
+		}
+		if err := emit(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
 			os.Exit(1)
 		}

@@ -16,6 +16,28 @@
 //     affected area AFF of their batch algorithms RPQ_NFA and Tarjan
 //     (Section 5).
 //
+// # Performance substrate
+//
+// internal/graph is built for the hot paths of the incremental engines:
+//
+//   - Node labels are interned process-wide into uint32 LabelIDs
+//     (InternLabel / LabelIDOf / LabelOf) and every graph maintains an
+//     inverted label→sorted-nodes index, so NodesWithLabel is an index
+//     lookup, not an O(|V|) scan, and the VF2/KWS/RPQ inner loops compare
+//     integer IDs instead of strings. Invariant: relabeling a node
+//     (AddNode on an existing ID) updates the inverted index atomically
+//     with the label.
+//   - Adjacency is hybrid: sorted []NodeID slices for low-degree nodes,
+//     promoted to hash sets past a degree threshold (with hysteresis on
+//     the way back down). Iteration is a cache-friendly linear scan and
+//     SuccessorsSorted returns the storage itself — allocation-free, but
+//     borrowed: valid only until the next mutation of that node.
+//   - The traversal kernels (BFSFrom, ReverseBFSFrom, ForEachWithin,
+//     Reaches, UndirectedComponents) run on a per-graph scratch buffer: an
+//     epoch-stamped visited array over dense node slots plus reusable
+//     queues, so a warm graph traverses without allocating. Graphs remain
+//     single-threaded; nested traversals fall back to a private buffer.
+//
 // The facade in this package re-exports the library's types and
 // constructors; the implementations live in internal packages:
 //

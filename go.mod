@@ -1,0 +1,3 @@
+module incgraph
+
+go 1.22

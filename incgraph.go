@@ -33,7 +33,24 @@ type (
 	Meter = cost.Meter
 	// Op is the kind of a unit update.
 	Op = graph.Op
+	// LabelID is the interned (process-wide) form of a node label; hot
+	// loops compare LabelIDs instead of strings.
+	LabelID = graph.LabelID
 )
+
+// NoLabel is the LabelID of nodes that do not exist.
+const NoLabel = graph.NoLabel
+
+// InternLabel returns the process-wide interned ID of label, assigning one
+// on first sight.
+func InternLabel(label string) LabelID { return graph.InternLabel(label) }
+
+// LabelIDOf returns the interned ID of label without assigning one,
+// reporting whether the label has ever been interned.
+func LabelIDOf(label string) (LabelID, bool) { return graph.LabelIDOf(label) }
+
+// LabelOf returns the string form of an interned label.
+func LabelOf(id LabelID) string { return graph.LabelOf(id) }
 
 // Unit update kinds.
 const (

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -152,6 +153,49 @@ func (r *Result) Format(w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// jsonSeries is the machine-readable form of one Series. NsPerOp follows
+// testing.B semantics: one op is one run of the measured phase at that
+// sweep point (one batch application, or one from-scratch rebuild). Sweep
+// points vary |ΔG|, so ns_per_op is comparable across PRs at the same
+// point, not across points of one sweep.
+type jsonSeries struct {
+	Name    string    `json:"name"`
+	Seconds []float64 `json:"seconds"`
+	NsPerOp []float64 `json:"ns_per_op"`
+}
+
+// jsonResult is the machine-readable form of one Result.
+type jsonResult struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	Points []string     `json:"points"`
+	Series []jsonSeries `json:"series"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+// FormatJSON emits the result as a single machine-readable JSON object
+// (one line): experiment id, sweep points, and per-series seconds plus
+// ns/op. Benchmark trajectories (BENCH_*.json) are recorded in this form.
+func (r *Result) FormatJSON(w io.Writer) error {
+	out := jsonResult{
+		ID:     r.ID,
+		Title:  r.Title,
+		XLabel: r.XLabel,
+		Points: r.X,
+		Series: make([]jsonSeries, len(r.Series)),
+		Notes:  r.Notes,
+	}
+	for i, s := range r.Series {
+		ns := make([]float64, len(s.Seconds))
+		for j, secs := range s.Seconds {
+			ns[j] = secs * 1e9
+		}
+		out.Series[i] = jsonSeries{Name: s.Name, Seconds: s.Seconds, NsPerOp: ns}
+	}
+	return json.NewEncoder(w).Encode(out)
 }
 
 // crossNote derives the paper-style observations from two series: average

@@ -230,16 +230,16 @@ func Updates(g *graph.Graph, spec UpdateSpec) graph.Batch {
 }
 
 // labelHistogram returns the labels of g sorted by decreasing frequency.
+// The counts come straight off the graph's inverted label index: O(|Σ|)
+// rather than a full node scan.
 func labelHistogram(g *graph.Graph) []string {
 	count := make(map[string]int)
-	g.Nodes(func(_ graph.NodeID, l string) bool {
-		count[l]++
+	labels := make([]string, 0, 64)
+	g.Labels(func(l string, n int) bool {
+		count[l] = n
+		labels = append(labels, l)
 		return true
 	})
-	labels := make([]string, 0, len(count))
-	for l := range count {
-		labels = append(labels, l)
-	}
 	sort.Slice(labels, func(i, j int) bool {
 		if count[labels[i]] != count[labels[j]] {
 			return count[labels[i]] > count[labels[j]]

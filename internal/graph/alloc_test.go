@@ -1,0 +1,124 @@
+package graph
+
+// Allocation-regression tests for the traversal kernels and the hybrid
+// adjacency: on a warm graph (scratch buffers grown, sorted caches built)
+// the hot paths must allocate nothing. These pin the "allocation-free
+// traversal" property so it cannot silently regress.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// warmGraph builds a connected random graph and runs each kernel once so
+// every scratch buffer has reached steady-state capacity.
+func warmGraph(tb testing.TB, n int) *Graph {
+	tb.Helper()
+	g := New()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i), "l")
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(NodeID(rng.Intn(i)), NodeID(i)) // spanning tree: connected
+	}
+	for i := 0; i < 2*n; i++ {
+		v, w := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if v != w && !g.HasEdge(v, w) {
+			g.AddEdge(v, w)
+		}
+	}
+	return g
+}
+
+func TestBFSFromAllocFree(t *testing.T) {
+	g := warmGraph(t, 500)
+	sources := []NodeID{0}
+	count := 0
+	visit := func(v NodeID, d int) bool { count++; return true }
+	g.BFSFrom(sources, visit) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		g.BFSFrom(sources, visit)
+	})
+	if allocs != 0 {
+		t.Fatalf("BFSFrom on a warm graph: %.1f allocs/op, want 0", allocs)
+	}
+	if count == 0 {
+		t.Fatal("BFS visited nothing")
+	}
+}
+
+func TestReverseBFSFromAllocFree(t *testing.T) {
+	g := warmGraph(t, 500)
+	sources := []NodeID{NodeID(499)}
+	visit := func(v NodeID, d int) bool { return true }
+	g.ReverseBFSFrom(sources, visit)
+	allocs := testing.AllocsPerRun(20, func() {
+		g.ReverseBFSFrom(sources, visit)
+	})
+	if allocs != 0 {
+		t.Fatalf("ReverseBFSFrom on a warm graph: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestForEachWithinAllocFree(t *testing.T) {
+	g := warmGraph(t, 500)
+	seeds := []NodeID{3, 77}
+	visit := func(v NodeID, d int) bool { return true }
+	g.ForEachWithin(seeds, 3, visit)
+	allocs := testing.AllocsPerRun(20, func() {
+		g.ForEachWithin(seeds, 3, visit)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForEachWithin on a warm graph: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestReachesAllocFree(t *testing.T) {
+	g := warmGraph(t, 500)
+	g.Reaches(0, 499)
+	allocs := testing.AllocsPerRun(20, func() {
+		g.Reaches(0, 499)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reaches on a warm graph: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSuccessorsSortedAllocFree(t *testing.T) {
+	// Low-degree node: slice mode, the sorted adjacency IS the storage.
+	g := warmGraph(t, 500)
+	var v NodeID = -1
+	for i := 0; i < 500; i++ {
+		if d := g.OutDegree(NodeID(i)); d >= 2 && d <= promoteDegree {
+			v = NodeID(i)
+			break
+		}
+	}
+	if v < 0 {
+		t.Fatal("no low-degree node found")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = g.SuccessorsSorted(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("SuccessorsSorted (slice mode): %.1f allocs/op, want 0", allocs)
+	}
+
+	// High-degree node: map mode. After one call rebuilds the cache,
+	// repeated calls on an unchanged adjacency are allocation-free too.
+	hub := NodeID(10_000)
+	g.AddNode(hub, "hub")
+	for i := 0; i < 3*promoteDegree; i++ {
+		g.AddEdge(hub, NodeID(i))
+	}
+	if got := g.SuccessorsSorted(hub); len(got) != 3*promoteDegree {
+		t.Fatalf("hub has %d sorted successors, want %d", len(got), 3*promoteDegree)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		_ = g.SuccessorsSorted(hub)
+	})
+	if allocs != 0 {
+		t.Fatalf("SuccessorsSorted (map mode, warm cache): %.1f allocs/op, want 0", allocs)
+	}
+}

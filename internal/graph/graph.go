@@ -7,10 +7,28 @@
 // l(v) on every node. Edges are unlabeled; all query semantics (RPQ strings,
 // KWS keywords, ISO label equality) read node labels.
 //
-// The representation keeps both out- and in-adjacency as hash sets so that
-// the unit updates of the incremental model — edge insertion (possibly with
-// new nodes) and edge deletion — are O(1), and so that incremental
-// algorithms can walk predecessors as cheaply as successors.
+// The representation is performance-oriented; three design decisions carry
+// it (see also doc.go at the module root):
+//
+//   - Interned labels. Label strings are interned process-wide into dense
+//     LabelIDs (intern.go); a node stores its uint32 LabelID, and every
+//     graph maintains an inverted label→sorted-nodes index, so
+//     NodesWithLabel is an index lookup rather than an O(|V|) scan and hot
+//     loops compare uint32s instead of strings. Invariant: every mutation
+//     that changes l(v) — AddNode relabels, DeleteNode — must update the
+//     inverted index in the same step.
+//
+//   - Hybrid adjacency. Out- and in-adjacency are sorted []NodeID slices
+//     for low-degree nodes, promoted to hash sets past a degree threshold
+//     (adjset.go). Unit updates stay O(degree) ≈ O(1), iteration is a
+//     cache-friendly linear scan, and SuccessorsSorted is allocation-free.
+//
+//   - Dense slots + scratch. Each node gets a dense slot index at
+//     insertion; the traversal kernels in traverse.go use an epoch-stamped
+//     visited array over slots plus pooled queues (scratch.go) instead of
+//     allocating map[NodeID]bool per call.
+//
+// Graphs are not safe for concurrent use.
 package graph
 
 import (
@@ -26,47 +44,116 @@ type Edge struct {
 	From, To NodeID
 }
 
+// node is the per-node record: interned label, dense slot, adjacency.
+type node struct {
+	label LabelID
+	slot  int32
+	out   adjSet
+	in    adjSet
+}
+
 // Graph is a directed graph with string-labeled nodes.
 // The zero value is not usable; call New.
 type Graph struct {
-	labels map[NodeID]string
-	out    map[NodeID]map[NodeID]struct{}
-	in     map[NodeID]map[NodeID]struct{}
-	edges  int
+	nodes map[NodeID]*node
+	// slotCap is the number of dense slot indices ever issued; slots of
+	// deleted nodes are recycled via free. The traversal scratch sizes its
+	// visited array to slotCap.
+	slotCap int32
+	free    []int32
+	// byLabel is the inverted label index: every node appears in the set
+	// of its current label, and nowhere else.
+	byLabel map[LabelID]*adjSet
+	edges   int
+	scratch scratch
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		labels: make(map[NodeID]string),
-		out:    make(map[NodeID]map[NodeID]struct{}),
-		in:     make(map[NodeID]map[NodeID]struct{}),
+		nodes:   make(map[NodeID]*node),
+		byLabel: make(map[LabelID]*adjSet),
 	}
 }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.labels) }
+func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.edges }
 
 // HasNode reports whether v exists.
 func (g *Graph) HasNode(v NodeID) bool {
-	_, ok := g.labels[v]
+	_, ok := g.nodes[v]
 	return ok
 }
 
 // Label returns the label of v, or "" if v does not exist.
-func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+func (g *Graph) Label(v NodeID) string {
+	rec, ok := g.nodes[v]
+	if !ok {
+		return ""
+	}
+	return LabelOf(rec.label)
+}
+
+// LabelIDAt returns the interned label of v, or NoLabel if v does not
+// exist. Hot loops compare the result against interned query labels
+// instead of strings.
+func (g *Graph) LabelIDAt(v NodeID) LabelID {
+	rec, ok := g.nodes[v]
+	if !ok {
+		return NoLabel
+	}
+	return rec.label
+}
+
+// labelIndexAdd inserts v into the inverted index under lid.
+func (g *Graph) labelIndexAdd(lid LabelID, v NodeID) {
+	set := g.byLabel[lid]
+	if set == nil {
+		set = &adjSet{}
+		g.byLabel[lid] = set
+	}
+	set.add(v)
+}
+
+// labelIndexRemove removes v from the inverted index under lid.
+func (g *Graph) labelIndexRemove(lid LabelID, v NodeID) {
+	if set := g.byLabel[lid]; set != nil {
+		set.remove(v)
+		if set.len() == 0 {
+			delete(g.byLabel, lid)
+		}
+	}
+}
 
 // AddNode inserts node v with the given label. Adding an existing node
-// relabels it.
+// relabels it (updating the inverted label index).
 func (g *Graph) AddNode(v NodeID, label string) {
-	if _, ok := g.labels[v]; !ok {
-		g.out[v] = make(map[NodeID]struct{})
-		g.in[v] = make(map[NodeID]struct{})
+	g.addNodeID(v, InternLabel(label))
+}
+
+// addNodeID is AddNode for an already-interned label.
+func (g *Graph) addNodeID(v NodeID, lid LabelID) {
+	if rec, ok := g.nodes[v]; ok {
+		if rec.label != lid {
+			g.labelIndexRemove(rec.label, v)
+			rec.label = lid
+			g.labelIndexAdd(lid, v)
+		}
+		return
 	}
-	g.labels[v] = label
+	var slot int32
+	if n := len(g.free); n > 0 {
+		slot = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		slot = g.slotCap
+		g.slotCap++
+	}
+	g.nodes[v] = &node{label: lid, slot: slot}
+	g.labelIndexAdd(lid, v)
 }
 
 // EnsureNode inserts v with label only if v does not already exist, and
@@ -81,25 +168,25 @@ func (g *Graph) EnsureNode(v NodeID, label string) bool {
 
 // HasEdge reports whether edge (v, w) exists.
 func (g *Graph) HasEdge(v, w NodeID) bool {
-	succ, ok := g.out[v]
-	if !ok {
-		return false
-	}
-	_, ok = succ[w]
-	return ok
+	rec, ok := g.nodes[v]
+	return ok && rec.out.has(w)
 }
 
 // AddEdge inserts edge (v, w). Both endpoints must exist. It reports whether
 // the edge was new.
 func (g *Graph) AddEdge(v, w NodeID) bool {
-	if !g.HasNode(v) || !g.HasNode(w) {
+	rv, ok := g.nodes[v]
+	if !ok {
 		panic(fmt.Sprintf("graph: AddEdge(%d,%d): endpoint missing", v, w))
 	}
-	if g.HasEdge(v, w) {
+	rw, ok := g.nodes[w]
+	if !ok {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d): endpoint missing", v, w))
+	}
+	if !rv.out.add(w) {
 		return false
 	}
-	g.out[v][w] = struct{}{}
-	g.in[w][v] = struct{}{}
+	rw.in.add(v)
 	g.edges++
 	return true
 }
@@ -107,11 +194,11 @@ func (g *Graph) AddEdge(v, w NodeID) bool {
 // DeleteEdge removes edge (v, w) and reports whether it existed.
 // Endpoint nodes are retained even if they become isolated.
 func (g *Graph) DeleteEdge(v, w NodeID) bool {
-	if !g.HasEdge(v, w) {
+	rv, ok := g.nodes[v]
+	if !ok || !rv.out.remove(w) {
 		return false
 	}
-	delete(g.out[v], w)
-	delete(g.in[w], v)
+	g.nodes[w].in.remove(v)
 	g.edges--
 	return true
 }
@@ -119,79 +206,91 @@ func (g *Graph) DeleteEdge(v, w NodeID) bool {
 // DeleteNode removes node v together with all incident edges, and reports
 // whether it existed.
 func (g *Graph) DeleteNode(v NodeID) bool {
-	if !g.HasNode(v) {
+	rec, ok := g.nodes[v]
+	if !ok {
 		return false
 	}
-	for w := range g.out[v] {
-		delete(g.in[w], v)
+	rec.out.forEach(func(w NodeID) bool {
+		g.nodes[w].in.remove(v)
 		g.edges--
-	}
-	for u := range g.in[v] {
-		// A self-loop was already discounted via the out map.
+		return true
+	})
+	rec.in.forEach(func(u NodeID) bool {
+		// A self-loop was already discounted via the out set.
 		if u == v {
-			continue
+			return true
 		}
-		delete(g.out[u], v)
+		g.nodes[u].out.remove(v)
 		g.edges--
-	}
-	delete(g.out, v)
-	delete(g.in, v)
-	delete(g.labels, v)
+		return true
+	})
+	g.labelIndexRemove(rec.label, v)
+	g.free = append(g.free, rec.slot)
+	delete(g.nodes, v)
 	return true
 }
 
 // OutDegree returns the number of successors of v.
-func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+func (g *Graph) OutDegree(v NodeID) int {
+	rec, ok := g.nodes[v]
+	if !ok {
+		return 0
+	}
+	return rec.out.len()
+}
 
 // InDegree returns the number of predecessors of v.
-func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+func (g *Graph) InDegree(v NodeID) int {
+	rec, ok := g.nodes[v]
+	if !ok {
+		return 0
+	}
+	return rec.in.len()
+}
 
 // Successors calls fn for every successor of v until fn returns false.
 // Iteration order is unspecified.
 func (g *Graph) Successors(v NodeID, fn func(w NodeID) bool) {
-	for w := range g.out[v] {
-		if !fn(w) {
-			return
-		}
+	if rec, ok := g.nodes[v]; ok {
+		rec.out.forEach(fn)
 	}
 }
 
 // Predecessors calls fn for every predecessor of v until fn returns false.
 // Iteration order is unspecified.
 func (g *Graph) Predecessors(v NodeID, fn func(u NodeID) bool) {
-	for u := range g.in[v] {
-		if !fn(u) {
-			return
-		}
+	if rec, ok := g.nodes[v]; ok {
+		rec.in.forEach(fn)
 	}
 }
 
 // SuccessorsSorted returns the successors of v in ascending NodeID order.
 // Algorithms that need the paper's "predefined order" tie-break use this.
+// The returned slice is owned by the graph: callers must not mutate it, and
+// it is valid only until the next mutation of v's adjacency.
 func (g *Graph) SuccessorsSorted(v NodeID) []NodeID {
-	ws := make([]NodeID, 0, len(g.out[v]))
-	for w := range g.out[v] {
-		ws = append(ws, w)
+	rec, ok := g.nodes[v]
+	if !ok {
+		return nil
 	}
-	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
-	return ws
+	return rec.out.sorted()
 }
 
-// PredecessorsSorted returns the predecessors of v in ascending NodeID order.
+// PredecessorsSorted returns the predecessors of v in ascending NodeID
+// order, under the same ownership contract as SuccessorsSorted.
 func (g *Graph) PredecessorsSorted(v NodeID) []NodeID {
-	us := make([]NodeID, 0, len(g.in[v]))
-	for u := range g.in[v] {
-		us = append(us, u)
+	rec, ok := g.nodes[v]
+	if !ok {
+		return nil
 	}
-	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
-	return us
+	return rec.in.sorted()
 }
 
 // Nodes calls fn for every node until fn returns false.
 // Iteration order is unspecified.
 func (g *Graph) Nodes(fn func(v NodeID, label string) bool) {
-	for v, l := range g.labels {
-		if !fn(v, l) {
+	for v, rec := range g.nodes {
+		if !fn(v, LabelOf(rec.label)) {
 			return
 		}
 	}
@@ -199,21 +298,27 @@ func (g *Graph) Nodes(fn func(v NodeID, label string) bool) {
 
 // NodesSorted returns all node IDs in ascending order.
 func (g *Graph) NodesSorted() []NodeID {
-	vs := make([]NodeID, 0, len(g.labels))
-	for v := range g.labels {
+	vs := make([]NodeID, 0, len(g.nodes))
+	for v := range g.nodes {
 		vs = append(vs, v)
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	sortNodeIDs(vs)
 	return vs
 }
 
 // Edges calls fn for every edge until fn returns false.
 func (g *Graph) Edges(fn func(e Edge) bool) {
-	for v, succ := range g.out {
-		for w := range succ {
+	for v, rec := range g.nodes {
+		stop := false
+		rec.out.forEach(func(w NodeID) bool {
 			if !fn(Edge{v, w}) {
-				return
+				stop = true
+				return false
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
@@ -231,42 +336,81 @@ func (g *Graph) EdgesSorted() []Edge {
 	return es
 }
 
-// NodesWithLabel returns the IDs of all nodes labeled label, sorted.
+// NodesWithLabel returns the IDs of all nodes labeled label, sorted
+// ascending. Backed by the inverted label index: cost is O(answer), not
+// O(|V|). The slice is freshly allocated and owned by the caller.
 func (g *Graph) NodesWithLabel(label string) []NodeID {
-	var vs []NodeID
-	for v, l := range g.labels {
-		if l == label {
-			vs = append(vs, v)
-		}
+	lid, ok := LabelIDOf(label)
+	if !ok {
+		return nil
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	return vs
+	set := g.byLabel[lid]
+	if set == nil {
+		return nil
+	}
+	s := set.sorted()
+	out := make([]NodeID, len(s))
+	copy(out, s)
+	return out
 }
 
-// Clone returns a deep copy of g.
+// NumNodesWithLabelID returns |{v : l(v) = lid}| in O(1).
+func (g *Graph) NumNodesWithLabelID(lid LabelID) int {
+	set := g.byLabel[lid]
+	if set == nil {
+		return 0
+	}
+	return set.len()
+}
+
+// NodesWithLabelID calls fn for every node labeled lid, in ascending order,
+// until fn returns false. Allocation-free; fn must not mutate the graph.
+func (g *Graph) NodesWithLabelID(lid LabelID, fn func(v NodeID) bool) {
+	set := g.byLabel[lid]
+	if set == nil {
+		return
+	}
+	for _, v := range set.sorted() {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Labels calls fn once per distinct label present in g with the number of
+// nodes carrying it, until fn returns false. Order is unspecified.
+func (g *Graph) Labels(fn func(label string, count int) bool) {
+	for lid, set := range g.byLabel {
+		if !fn(LabelOf(lid), set.len()) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of g. The copy shares the process-wide label
+// intern table (IDs remain comparable) but no mutable state.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		labels: make(map[NodeID]string, len(g.labels)),
-		out:    make(map[NodeID]map[NodeID]struct{}, len(g.out)),
-		in:     make(map[NodeID]map[NodeID]struct{}, len(g.in)),
-		edges:  g.edges,
+		nodes:   make(map[NodeID]*node, len(g.nodes)),
+		slotCap: g.slotCap,
+		byLabel: make(map[LabelID]*adjSet, len(g.byLabel)),
+		edges:   g.edges,
 	}
-	for v, l := range g.labels {
-		c.labels[v] = l
+	if len(g.free) > 0 {
+		c.free = make([]int32, len(g.free))
+		copy(c.free, g.free)
 	}
-	for v, set := range g.out {
-		m := make(map[NodeID]struct{}, len(set))
-		for w := range set {
-			m[w] = struct{}{}
+	for v, rec := range g.nodes {
+		c.nodes[v] = &node{
+			label: rec.label,
+			slot:  rec.slot,
+			out:   rec.out.clone(),
+			in:    rec.in.clone(),
 		}
-		c.out[v] = m
 	}
-	for v, set := range g.in {
-		m := make(map[NodeID]struct{}, len(set))
-		for w := range set {
-			m[w] = struct{}{}
-		}
-		c.in[v] = m
+	for lid, set := range g.byLabel {
+		cs := set.clone()
+		c.byLabel[lid] = &cs
 	}
 	return c
 }
@@ -276,19 +420,22 @@ func (g *Graph) Clone() *Graph {
 // endpoints in keep (Section 2 of the paper).
 func (g *Graph) InducedSubgraph(keep map[NodeID]bool) *Graph {
 	s := New()
-	for v := range keep {
-		if keep[v] && g.HasNode(v) {
-			s.AddNode(v, g.labels[v])
+	for v, in := range keep {
+		if !in {
+			continue
+		}
+		if rec, ok := g.nodes[v]; ok {
+			s.addNodeID(v, rec.label)
 		}
 	}
-	s.Nodes(func(v NodeID, _ string) bool {
-		for w := range g.out[v] {
+	for v := range s.nodes {
+		g.nodes[v].out.forEach(func(w NodeID) bool {
 			if s.HasNode(w) {
 				s.AddEdge(v, w)
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 	return s
 }
 
@@ -296,7 +443,7 @@ func (g *Graph) InducedSubgraph(keep map[NodeID]bool) *Graph {
 // Generators use it to mint fresh IDs.
 func (g *Graph) MaxNodeID() NodeID {
 	max := NodeID(-1)
-	for v := range g.labels {
+	for v := range g.nodes {
 		if v > max {
 			max = v
 		}
@@ -305,20 +452,29 @@ func (g *Graph) MaxNodeID() NodeID {
 }
 
 // Equal reports whether g and h have identical node sets, labels and edges.
+// Labels compare by interned ID, which is exact because the intern table is
+// process-wide.
 func (g *Graph) Equal(h *Graph) bool {
 	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
 		return false
 	}
-	for v, l := range g.labels {
-		if hl, ok := h.labels[v]; !ok || hl != l {
+	for v, rec := range g.nodes {
+		hrec, ok := h.nodes[v]
+		if !ok || hrec.label != rec.label {
 			return false
 		}
 	}
-	for v, succ := range g.out {
-		for w := range succ {
+	for v, rec := range g.nodes {
+		same := true
+		rec.out.forEach(func(w NodeID) bool {
 			if !h.HasEdge(v, w) {
+				same = false
 				return false
 			}
+			return true
+		})
+		if !same {
+			return false
 		}
 	}
 	return true

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Label interning. Every distinct label string is assigned a process-wide
+// LabelID once; graphs store the uint32 ID per node instead of the string.
+// The table is global (not per-graph) so that IDs are comparable across
+// graphs — the ISO engine compares pattern labels against data-graph labels
+// in its innermost feasibility check, and a per-graph table would force it
+// back to string comparisons.
+//
+// The table only ever grows: labels are never garbage-collected. Workloads
+// have small alphabets (hundreds of labels), so this is by design.
+
+// LabelID is the interned form of a node label.
+type LabelID uint32
+
+// NoLabel is returned by LabelIDAt for nodes that do not exist. It never
+// compares equal to the ID of any interned label.
+const NoLabel = LabelID(^uint32(0))
+
+var labelTab = struct {
+	mu    sync.Mutex
+	ids   map[string]LabelID
+	names atomic.Value // []string, copy-on-write
+}{ids: make(map[string]LabelID)}
+
+func init() {
+	labelTab.names.Store([]string{})
+}
+
+// InternLabel returns the LabelID of label, assigning a fresh one on first
+// sight. Safe for concurrent use.
+func InternLabel(label string) LabelID {
+	labelTab.mu.Lock()
+	defer labelTab.mu.Unlock()
+	if id, ok := labelTab.ids[label]; ok {
+		return id
+	}
+	names := labelTab.names.Load().([]string)
+	id := LabelID(len(names))
+	grown := make([]string, len(names)+1)
+	copy(grown, names)
+	grown[len(names)] = label
+	labelTab.names.Store(grown)
+	labelTab.ids[label] = id
+	return id
+}
+
+// LabelIDOf returns the interned ID of label without assigning one,
+// reporting whether the label has ever been interned. Safe for concurrent
+// use with InternLabel.
+func LabelIDOf(label string) (LabelID, bool) {
+	labelTab.mu.Lock()
+	id, ok := labelTab.ids[label]
+	labelTab.mu.Unlock()
+	return id, ok
+}
+
+// LabelOf returns the string form of an interned label, or "" for NoLabel
+// and IDs never issued. Lock-free: readers load an immutable snapshot.
+func LabelOf(id LabelID) string {
+	names := labelTab.names.Load().([]string)
+	if int(id) >= len(names) {
+		return ""
+	}
+	return names[id]
+}

@@ -1,0 +1,60 @@
+package graph
+
+// Traversal scratch space. Every graph owns one lazily grown scratch
+// buffer holding an epoch-stamped visited array (indexed by the dense node
+// slot assigned at AddNode) and reusable queue/stack backing arrays, so the
+// BFS/DFS kernels in traverse.go allocate nothing on a warm graph.
+//
+// Graphs are not safe for concurrent use (that has always been the
+// contract), so a single buffer suffices; the inUse flag makes *nested*
+// traversals — a kernel invoked from another kernel's callback — fall back
+// to a freshly allocated buffer instead of corrupting the outer walk.
+
+// qitem is one BFS frontier entry: a node and its hop distance.
+type qitem struct {
+	v NodeID
+	d int32
+}
+
+type scratch struct {
+	inUse   bool
+	epoch   uint32
+	visited []uint32 // slot -> epoch at which the slot was last seen
+	queue   []qitem
+	stack   []NodeID
+}
+
+// acquire returns a scratch buffer ready for one traversal over g: the
+// graph's own buffer when free, or a throwaway one when a traversal is
+// already running. Call release on the result when done.
+func (g *Graph) acquire() *scratch {
+	s := &g.scratch
+	if s.inUse {
+		s = &scratch{}
+	}
+	s.inUse = true
+	if n := int(g.slotCap); len(s.visited) < n {
+		grown := make([]uint32, n+n/2+8)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale stamps could collide, reset all
+		clear(s.visited)
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	s.stack = s.stack[:0]
+	return s
+}
+
+func (s *scratch) release() { s.inUse = false }
+
+// seen stamps slot and reports whether it was already stamped this epoch.
+func (s *scratch) seen(slot int32) bool {
+	if s.visited[slot] == s.epoch {
+		return true
+	}
+	s.visited[slot] = s.epoch
+	return false
+}

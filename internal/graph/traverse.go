@@ -1,87 +1,132 @@
 package graph
 
-import "sort"
-
 // This file contains the traversal primitives shared by the batch and
 // incremental algorithms: directed and undirected BFS, d-hop neighborhoods
 // (Section 4.1 of the paper), and reachability probes.
+//
+// All kernels run on the graph's scratch buffer (scratch.go): an
+// epoch-stamped visited array over dense node slots and reusable
+// queue/stack backing arrays. On a warm graph they allocate nothing beyond
+// what their results require.
+//
+// Contract: traversal callbacks must not mutate the graph. The kernels
+// hold node records and a visited array sized at entry, so a callback
+// that deletes or adds nodes invalidates state mid-walk (deleted nodes
+// are skipped defensively, but added nodes may be missed or overflow the
+// visited array). None of the engines mutate during traversal.
+
+// bfsFrom is the shared directed-BFS kernel. rev walks predecessors.
+func (g *Graph) bfsFrom(sources []NodeID, rev bool, fn func(v NodeID, dist int) bool) {
+	s := g.acquire()
+	defer s.release()
+	for _, src := range sources {
+		rec, ok := g.nodes[src]
+		if !ok || s.seen(rec.slot) {
+			continue
+		}
+		s.queue = append(s.queue, qitem{src, 0})
+	}
+	for head := 0; head < len(s.queue); head++ {
+		it := s.queue[head]
+		if !fn(it.v, int(it.d)) {
+			continue
+		}
+		rec := g.nodes[it.v]
+		if rec == nil {
+			continue // deleted by the callback; see the contract above
+		}
+		adj := &rec.out
+		if rev {
+			adj = &rec.in
+		}
+		adj.forEach(func(w NodeID) bool {
+			if !s.seen(g.nodes[w].slot) {
+				s.queue = append(s.queue, qitem{w, it.d + 1})
+			}
+			return true
+		})
+	}
+}
 
 // BFSFrom performs a breadth-first search over directed edges starting at
 // the given sources (distance 0). fn is called once per reached node with
 // its hop distance; returning false prunes expansion below that node.
 func (g *Graph) BFSFrom(sources []NodeID, fn func(v NodeID, dist int) bool) {
-	seen := make(map[NodeID]bool, len(sources))
-	type item struct {
-		v NodeID
-		d int
-	}
-	queue := make([]item, 0, len(sources))
-	for _, s := range sources {
-		if !g.HasNode(s) || seen[s] {
-			continue
-		}
-		seen[s] = true
-		queue = append(queue, item{s, 0})
-	}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if !fn(it.v, it.d) {
-			continue
-		}
-		for w := range g.out[it.v] {
-			if !seen[w] {
-				seen[w] = true
-				queue = append(queue, item{w, it.d + 1})
-			}
-		}
-	}
+	g.bfsFrom(sources, false, fn)
 }
 
 // ReverseBFSFrom is BFSFrom following edges backwards (predecessors).
 func (g *Graph) ReverseBFSFrom(sources []NodeID, fn func(v NodeID, dist int) bool) {
-	seen := make(map[NodeID]bool, len(sources))
-	type item struct {
-		v NodeID
-		d int
-	}
-	queue := make([]item, 0, len(sources))
-	for _, s := range sources {
-		if !g.HasNode(s) || seen[s] {
-			continue
-		}
-		seen[s] = true
-		queue = append(queue, item{s, 0})
-	}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if !fn(it.v, it.d) {
-			continue
-		}
-		for u := range g.in[it.v] {
-			if !seen[u] {
-				seen[u] = true
-				queue = append(queue, item{u, it.d + 1})
-			}
-		}
-	}
+	g.bfsFrom(sources, true, fn)
 }
 
-// Reaches reports whether there is a directed path from v to w.
+// Reaches reports whether there is a directed path from v to w. The search
+// stops the moment w is dequeued.
 func (g *Graph) Reaches(v, w NodeID) bool {
-	if !g.HasNode(v) || !g.HasNode(w) {
+	rec, ok := g.nodes[v]
+	if !ok || !g.HasNode(w) {
 		return false
 	}
+	if v == w {
+		return true
+	}
+	s := g.acquire()
+	defer s.release()
+	s.seen(rec.slot)
+	s.stack = append(s.stack, v)
 	found := false
-	g.BFSFrom([]NodeID{v}, func(x NodeID, _ int) bool {
-		if x == w {
-			found = true
-			return false
-		}
-		return !found
-	})
+	for n := len(s.stack); n > 0 && !found; n = len(s.stack) {
+		x := s.stack[n-1]
+		s.stack = s.stack[:n-1]
+		g.nodes[x].out.forEach(func(y NodeID) bool {
+			if y == w {
+				found = true
+				return false
+			}
+			if !s.seen(g.nodes[y].slot) {
+				s.stack = append(s.stack, y)
+			}
+			return true
+		})
+	}
 	return found
+}
+
+// ForEachWithin calls fn for every node within d undirected hops of some
+// seed, with its hop distance from the nearest seed, in BFS order (seeds
+// first). Seeds not in g are ignored; fn returning false stops the whole
+// walk. This is the allocation-free kernel under NeighborhoodNodes.
+func (g *Graph) ForEachWithin(seeds []NodeID, d int, fn func(v NodeID, dist int) bool) {
+	s := g.acquire()
+	defer s.release()
+	for _, seed := range seeds {
+		rec, ok := g.nodes[seed]
+		if !ok || s.seen(rec.slot) {
+			continue
+		}
+		s.queue = append(s.queue, qitem{seed, 0})
+	}
+	for head := 0; head < len(s.queue); head++ {
+		it := s.queue[head]
+		if !fn(it.v, int(it.d)) {
+			return
+		}
+		if int(it.d) == d {
+			continue
+		}
+		rec := g.nodes[it.v]
+		if rec == nil {
+			continue // deleted by the callback; see the contract above
+		}
+		expand := func(w NodeID) bool {
+			if !s.seen(g.nodes[w].slot) {
+				s.queue = append(s.queue, qitem{w, it.d + 1})
+			}
+			return true
+		}
+		rec.out.forEach(expand)
+		rec.in.forEach(expand)
+	}
 }
 
 // NeighborhoodNodes returns V_d(seeds): every node within d hops of some
@@ -90,37 +135,10 @@ func (g *Graph) Reaches(v, w NodeID) bool {
 // hop distance from the nearest seed.
 func (g *Graph) NeighborhoodNodes(seeds []NodeID, d int) map[NodeID]int {
 	dist := make(map[NodeID]int, len(seeds))
-	type item struct {
-		v NodeID
-		d int
-	}
-	var queue []item
-	for _, s := range seeds {
-		if !g.HasNode(s) {
-			continue
-		}
-		if _, ok := dist[s]; ok {
-			continue
-		}
-		dist[s] = 0
-		queue = append(queue, item{s, 0})
-	}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if it.d == d {
-			continue
-		}
-		expand := func(w NodeID) bool {
-			if _, ok := dist[w]; !ok {
-				dist[w] = it.d + 1
-				queue = append(queue, item{w, it.d + 1})
-			}
-			return true
-		}
-		g.Successors(it.v, expand)
-		g.Predecessors(it.v, expand)
-	}
+	g.ForEachWithin(seeds, d, func(v NodeID, dd int) bool {
+		dist[v] = dd
+		return true
+	})
 	return dist
 }
 
@@ -136,51 +154,64 @@ func (g *Graph) Neighborhood(seeds []NodeID, d int) *Graph {
 }
 
 // ShortestDist returns the hop length of a shortest directed path from v to
-// w, or -1 if w is unreachable from v.
+// w, or -1 if w is unreachable from v. The BFS stops as soon as w is seen.
 func (g *Graph) ShortestDist(v, w NodeID) int {
+	rec, ok := g.nodes[v]
+	if !ok || !g.HasNode(w) {
+		return -1
+	}
+	if v == w {
+		return 0
+	}
+	s := g.acquire()
+	defer s.release()
+	s.seen(rec.slot)
+	s.queue = append(s.queue, qitem{v, 0})
 	res := -1
-	g.BFSFrom([]NodeID{v}, func(x NodeID, d int) bool {
-		if x == w {
-			res = d
-			return false
-		}
-		return true
-	})
+	for head := 0; head < len(s.queue) && res < 0; head++ {
+		it := s.queue[head]
+		g.nodes[it.v].out.forEach(func(y NodeID) bool {
+			if y == w {
+				res = int(it.d) + 1
+				return false
+			}
+			if !s.seen(g.nodes[y].slot) {
+				s.queue = append(s.queue, qitem{y, it.d + 1})
+			}
+			return true
+		})
+	}
 	return res
 }
 
 // UndirectedComponents returns the weakly connected components of g,
 // each as a sorted slice of node IDs, ordered by their smallest member.
 func (g *Graph) UndirectedComponents() [][]NodeID {
-	seen := make(map[NodeID]bool, g.NumNodes())
+	s := g.acquire()
+	defer s.release()
 	var comps [][]NodeID
 	for _, start := range g.NodesSorted() {
-		if seen[start] {
+		if s.seen(g.nodes[start].slot) {
 			continue
 		}
 		var comp []NodeID
-		stack := []NodeID{start}
-		seen[start] = true
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+		s.stack = append(s.stack[:0], start)
+		for n := len(s.stack); n > 0; n = len(s.stack) {
+			v := s.stack[n-1]
+			s.stack = s.stack[:n-1]
 			comp = append(comp, v)
+			rec := g.nodes[v]
 			grow := func(w NodeID) bool {
-				if !seen[w] {
-					seen[w] = true
-					stack = append(stack, w)
+				if !s.seen(g.nodes[w].slot) {
+					s.stack = append(s.stack, w)
 				}
 				return true
 			}
-			g.Successors(v, grow)
-			g.Predecessors(v, grow)
+			rec.out.forEach(grow)
+			rec.in.forEach(grow)
 		}
 		sortNodeIDs(comp)
 		comps = append(comps, comp)
 	}
 	return comps
-}
-
-func sortNodeIDs(vs []NodeID) {
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 }

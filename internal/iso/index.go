@@ -164,10 +164,10 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 // anchorInsertions enumerates the matches created by inserted edge u by
 // pinning every label-compatible pattern edge onto it.
 func (ix *Index) anchorInsertions(u graph.Update, d *Delta) {
-	lf, lt := ix.g.Label(u.From), ix.g.Label(u.To)
+	lf, lt := ix.g.LabelIDAt(u.From), ix.g.LabelIDAt(u.To)
 	pg := ix.p.Graph()
 	pg.Edges(func(pe graph.Edge) bool {
-		if pg.Label(pe.From) != lf || pg.Label(pe.To) != lt {
+		if pg.LabelIDAt(pe.From) != lf || pg.LabelIDAt(pe.To) != lt {
 			return true
 		}
 		if pe.From == pe.To && u.From != u.To {
@@ -201,12 +201,12 @@ func (ix *Index) ApplyUnitwise(batch graph.Batch) (Delta, error) {
 				return Delta{}, fmt.Errorf("iso: %w: insert of existing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
 			}
 			ix.g.AddEdge(u.From, u.To)
-			scopeDist := ix.g.NeighborhoodNodes([]graph.NodeID{u.From, u.To}, ix.p.Diameter())
-			ix.meter.AddNodes(len(scopeDist))
-			scope := make(map[graph.NodeID]bool, len(scopeDist))
-			for v := range scopeDist {
+			scope := make(map[graph.NodeID]bool)
+			ix.g.ForEachWithin([]graph.NodeID{u.From, u.To}, ix.p.Diameter(), func(v graph.NodeID, _ int) bool {
 				scope[v] = true
-			}
+				return true
+			})
+			ix.meter.AddNodes(len(scope))
 			Enumerate(ix.g, ix.p, scope, ix.meter, func(m Match) bool {
 				if ix.add(m) {
 					total.Added = append(total.Added, m)

@@ -148,11 +148,12 @@ func (p *Pattern) computeOrder() {
 func (p *Pattern) computeDiameter() {
 	d := 0
 	for _, v := range p.nodes {
-		for _, dist := range p.g.NeighborhoodNodes([]graph.NodeID{v}, len(p.nodes)) {
+		p.g.ForEachWithin([]graph.NodeID{v}, len(p.nodes), func(_ graph.NodeID, dist int) bool {
 			if dist > d {
 				d = dist
 			}
-		}
+			return true
+		})
 	}
 	p.diameter = d
 }

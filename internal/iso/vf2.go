@@ -114,7 +114,7 @@ func (s *searcher) inScope(v graph.NodeID) bool { return s.scope == nil || s.sco
 func (s *searcher) feasible(u, v graph.NodeID) bool {
 	s.meter.AddNodes(1)
 	pg := s.p.g
-	if s.used[v] || s.g.Label(v) != pg.Label(u) || !s.inScope(v) {
+	if s.used[v] || s.g.LabelIDAt(v) != pg.LabelIDAt(u) || !s.inScope(v) {
 		return false
 	}
 	if s.g.OutDegree(v) < pg.OutDegree(u) || s.g.InDegree(v) < pg.InDegree(u) {
@@ -191,13 +191,9 @@ func (s *searcher) candidates(u graph.NodeID, yield func(graph.NodeID) bool) {
 			}
 			return
 		}
-		lbl := pg.Label(u)
-		s.g.Nodes(func(v graph.NodeID, l string) bool {
-			if l == lbl {
-				return yield(v)
-			}
-			return true
-		})
+		// No mapped neighbor to anchor on: enumerate u's label class
+		// straight off the inverted label index.
+		s.g.NodesWithLabelID(pg.LabelIDAt(u), yield)
 	}
 }
 

@@ -77,6 +77,9 @@ type Index struct {
 	g     *graph.Graph
 	q     Query
 	kdist map[graph.NodeID][]Entry
+	// kwIDs holds the interned form of q.Keywords: the per-node label
+	// checks in freshEntries compare uint32 IDs instead of strings.
+	kwIDs []graph.LabelID
 	// matches maps each match root to its per-keyword distance vector.
 	matches map[graph.NodeID][]int
 	meter   *cost.Meter
@@ -93,8 +96,12 @@ func Build(g *graph.Graph, q Query, meter *cost.Meter) (*Index, error) {
 		g:       g,
 		q:       q,
 		kdist:   make(map[graph.NodeID][]Entry, g.NumNodes()),
+		kwIDs:   make([]graph.LabelID, len(q.Keywords)),
 		matches: make(map[graph.NodeID][]int),
 		meter:   meter,
+	}
+	for i, kw := range q.Keywords {
+		ix.kwIDs[i] = graph.InternLabel(kw)
 	}
 	g.Nodes(func(v graph.NodeID, _ string) bool {
 		ix.kdist[v] = ix.freshEntries(v)
@@ -114,8 +121,8 @@ func Build(g *graph.Graph, q Query, meter *cost.Meter) (*Index, error) {
 // equal to l(v), Unreachable otherwise.
 func (ix *Index) freshEntries(v graph.NodeID) []Entry {
 	row := make([]Entry, len(ix.q.Keywords))
-	lbl := ix.g.Label(v)
-	for i, kw := range ix.q.Keywords {
+	lbl := ix.g.LabelIDAt(v)
+	for i, kw := range ix.kwIDs {
 		if lbl == kw {
 			row[i] = Entry{Dist: 0, Next: NoNext}
 		} else {
@@ -133,9 +140,10 @@ func (ix *Index) buildKeyword(i int) {
 		d int
 	}
 	var queue []item
-	for _, v := range ix.g.NodesWithLabel(ix.q.Keywords[i]) {
+	ix.g.NodesWithLabelID(ix.kwIDs[i], func(v graph.NodeID) bool {
 		queue = append(queue, item{v, 0})
-	}
+		return true
+	})
 	for len(queue) > 0 {
 		it := queue[0]
 		queue = queue[1:]

@@ -1,6 +1,10 @@
 package rex
 
-import "sort"
+import (
+	"sort"
+
+	"incgraph/internal/graph"
+)
 
 // NFA is an ε-free nondeterministic finite automaton over node labels,
 // built with the Glushkov (position) construction: one state per label
@@ -16,6 +20,10 @@ type NFA struct {
 	// trans[s] maps a label to the sorted target states reachable from s
 	// by consuming that label.
 	trans []map[string][]int
+	// transID mirrors trans keyed by interned LabelID; the product-graph
+	// traversals of RPQ_NFA/IncRPQ do one uint32 map probe per edge
+	// instead of hashing a label string.
+	transID []map[graph.LabelID][]int
 }
 
 // StateID identifies an NFA state; 0 is the initial state.
@@ -47,11 +55,15 @@ func Compile(a *Ast) *NFA {
 	for p := range c.positions {
 		addMoves(p+1, c.follow[p+1])
 	}
+	n.transID = make([]map[graph.LabelID][]int, len(n.trans))
 	for s := range n.trans {
+		n.transID[s] = make(map[graph.LabelID][]int, len(n.trans[s]))
 		for lbl := range n.trans[s] {
 			ts := n.trans[s][lbl]
 			sort.Ints(ts)
-			n.trans[s][lbl] = dedupInts(ts)
+			ts = dedupInts(ts)
+			n.trans[s][lbl] = ts
+			n.transID[s][graph.InternLabel(lbl)] = ts
 		}
 	}
 	return n
@@ -79,6 +91,11 @@ func (n *NFA) Accepting(s StateID) bool { return n.accept[s] }
 // Next returns δ(s, label): the states reachable from s by consuming label.
 // The returned slice is shared and must not be modified.
 func (n *NFA) Next(s StateID, label string) []int { return n.trans[s][label] }
+
+// NextID is Next keyed by interned label ID — the hot-path variant used by
+// the product traversals. NoLabel (and any label absent from the query
+// alphabet) yields nil.
+func (n *NFA) NextID(s StateID, lid graph.LabelID) []int { return n.transID[s][lid] }
 
 // AcceptsEmpty reports whether ε is in the language.
 func (n *NFA) AcceptsEmpty() bool { return n.accept[0] }

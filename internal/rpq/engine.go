@@ -132,7 +132,7 @@ func (e *Engine) seedSource(u graph.NodeID, d *Delta) *pq.Heap[key] {
 	if _, done := e.marks[u]; done {
 		return nil
 	}
-	starts := e.nfa.Next(e.nfa.Start(), e.g.Label(u))
+	starts := e.nfa.NextID(e.nfa.Start(), e.g.LabelIDAt(u))
 	if len(starts) == 0 {
 		return nil
 	}
@@ -227,7 +227,7 @@ func (e *Engine) settle(u graph.NodeID, q *pq.Heap[key], d *Delta) {
 		}
 		e.g.Successors(k.v, func(y graph.NodeID) bool {
 			e.meter.AddEdges(1)
-			for _, sy := range e.nfa.Next(k.s, e.g.Label(y)) {
+			for _, sy := range e.nfa.NextID(k.s, e.g.LabelIDAt(y)) {
 				ky := key{y, sy}
 				ey := sm.table[ky]
 				cand := dist + 1

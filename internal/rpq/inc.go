@@ -193,14 +193,14 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 	// Insertions between unaffected endpoints seed the queue (lines 5–8);
 	// cpre links are structural and recorded regardless of distances.
 	for _, u := range ins {
-		lblTo := e.g.Label(u.To)
+		lblTo := e.g.LabelIDAt(u.To)
 		for s := 0; s < e.nfa.NumStates(); s++ {
 			kv := key{u.From, s}
 			ev := sm.table[kv]
 			if ev == nil {
 				continue
 			}
-			for _, s2 := range e.nfa.Next(s, lblTo) {
+			for _, s2 := range e.nfa.NextID(s, lblTo) {
 				kw := key{u.To, s2}
 				ew := sm.table[kw]
 				cand := ev.dist + 1
@@ -255,7 +255,7 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 		e.noteEntryRemoved(src, k, d)
 		e.meter.AddEntries(1)
 		e.g.Successors(k.v, func(y graph.NodeID) bool {
-			for _, sy := range e.nfa.Next(k.s, e.g.Label(y)) {
+			for _, sy := range e.nfa.NextID(k.s, e.g.LabelIDAt(y)) {
 				if ey := sm.table[key{y, sy}]; ey != nil {
 					delete(ey.cpre, k)
 					delete(ey.mpre, k)
@@ -279,13 +279,13 @@ func (e *Engine) identAff(sm *sourceMark, dels graph.Batch) map[key]bool {
 		}
 	}
 	for _, u := range dels {
-		lblTo := e.g.Label(u.To)
+		lblTo := e.g.LabelIDAt(u.To)
 		for s := 0; s < e.nfa.NumStates(); s++ {
 			kv := key{u.From, s}
 			if sm.table[kv] == nil {
 				continue
 			}
-			for _, s2 := range e.nfa.Next(s, lblTo) {
+			for _, s2 := range e.nfa.NextID(s, lblTo) {
 				kw := key{u.To, s2}
 				ew := sm.table[kw]
 				if ew == nil {
@@ -309,7 +309,7 @@ func (e *Engine) identAff(sm *sourceMark, dels graph.Batch) map[key]bool {
 		// support.
 		e.g.Successors(k.v, func(y graph.NodeID) bool {
 			e.meter.AddEdges(1)
-			for _, sy := range e.nfa.Next(k.s, e.g.Label(y)) {
+			for _, sy := range e.nfa.NextID(k.s, e.g.LabelIDAt(y)) {
 				ky := key{y, sy}
 				ey := sm.table[ky]
 				if ey == nil || affected[ky] {
