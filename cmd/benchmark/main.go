@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-json]
+//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-workers 0] [-json]
 package main
 
 import (
@@ -20,6 +20,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 = default bench size)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	points := flag.Int("points", 0, "truncate each sweep to N points (0 = full sweep)")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential baseline)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment (id, points, ns/op) instead of tables")
 	flag.Parse()
@@ -28,7 +29,7 @@ func main() {
 		fmt.Println(strings.Join(bench.Figures(), "\n"))
 		return
 	}
-	cfg := bench.Config{Scale: *scale, Seed: *seed, MaxPoints: *points}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, MaxPoints: *points, Workers: *workers}
 	ids := bench.Figures()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")

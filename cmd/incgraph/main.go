@@ -31,16 +31,17 @@ func main() {
 	bound := flag.Int("bound", 2, "kws distance bound b")
 	patternPath := flag.String("pattern", "", "iso pattern graph file")
 	updatesPath := flag.String("updates", "", "optional update file applied incrementally")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print full answers, not just counts")
 	flag.Parse()
 
-	if err := run(*graphPath, *class, *query, *bound, *patternPath, *updatesPath, *verbose); err != nil {
+	if err := run(*graphPath, *class, *query, *bound, *patternPath, *updatesPath, *workers, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "incgraph: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, class, query string, bound int, patternPath, updatesPath string, verbose bool) error {
+func run(graphPath, class, query string, bound int, patternPath, updatesPath string, workers int, verbose bool) error {
 	if graphPath == "" || class == "" {
 		return fmt.Errorf("-graph and -class are required")
 	}
@@ -48,7 +49,8 @@ func run(graphPath, class, query string, bound int, patternPath, updatesPath str
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	g.SetParallelism(workers)
+	fmt.Printf("graph: %d nodes, %d edges (%d workers)\n", g.NumNodes(), g.NumEdges(), g.Parallelism())
 
 	var batch incgraph.Batch
 	if updatesPath != "" {

@@ -33,10 +33,35 @@
 //     SuccessorsSorted returns the storage itself — allocation-free, but
 //     borrowed: valid only until the next mutation of that node.
 //   - The traversal kernels (BFSFrom, ReverseBFSFrom, ForEachWithin,
-//     Reaches, UndirectedComponents) run on a per-graph scratch buffer: an
-//     epoch-stamped visited array over dense node slots plus reusable
-//     queues, so a warm graph traverses without allocating. Graphs remain
-//     single-threaded; nested traversals fall back to a private buffer.
+//     Reaches, UndirectedComponents) run on buffers from a lock-free
+//     worker-keyed scratch pool: an epoch-stamped visited array over dense
+//     node slots plus reusable queues, so a warm graph traverses without
+//     allocating, and concurrent or nested traversals each check out their
+//     own buffer.
+//
+// # Concurrency and parallelism
+//
+// The engine is multi-core end to end, built on one contract: mutating a
+// graph (AddNode, AddEdge, Apply, ...) requires exclusive access, while
+// between mutations any number of goroutines may read and traverse it
+// concurrently once Graph.PrepareConcurrentReads has run after the last
+// mutation. The KWS/RPQ/ISO engines call it themselves whenever
+// Parallelism() > 1; after hand-rolled mutations, at Parallelism() == 1,
+// or behind the sequential SCC engine, call it yourself before sharing
+// reads.
+//
+// On top of that split, the batch builds fan out — NewKWS per keyword,
+// NewRPQ per source node, NewISO/FindMatches over partitioned VF2 candidate
+// seeds — and the incremental Apply methods of KWS, RPQ and ISO apply ΔG
+// serially, then partition their repair work (affected keywords, affected
+// sources, anchored insertions) across a worker pool. Per-worker results
+// merge deterministically, so answers and deltas are byte-identical to a
+// sequential run.
+//
+// Graph.SetParallelism(n) bounds the worker pool; the default is
+// runtime.GOMAXPROCS(0), and n = 1 forces fully sequential execution.
+// Clones inherit the setting, so configuring the base graph configures
+// every engine built on it.
 //
 // The facade in this package re-exports the library's types and
 // constructors; the implementations live in internal packages:

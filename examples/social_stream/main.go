@@ -5,10 +5,11 @@
 // recomputation per event would be wasteful, incremental maintenance is
 // nearly free.
 //
-// Run with: go run ./examples/social_stream
+// Run with: go run ./examples/social_stream [-workers N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,9 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential)")
+	flag.Parse()
+
 	// A synthetic social graph: 77% of members sit in one giant mutually-
 	// reachable community, like LiveJournal's giant SCC (Exp-1(3) of the
 	// paper).
@@ -27,7 +31,11 @@ func main() {
 		GiantSCCFrac: 0.77,
 		Seed:         7,
 	})
-	fmt.Printf("social graph: %d members, %d follow edges\n", g.NumNodes(), g.NumEdges())
+	// Clones inherit the setting, so both standing queries below repair
+	// their answers on the parallel path.
+	g.SetParallelism(*workers)
+	fmt.Printf("social graph: %d members, %d follow edges (%d workers)\n",
+		g.NumNodes(), g.NumEdges(), g.Parallelism())
 
 	// Standing query 1: community structure.
 	scc := incgraph.NewSCC(g.Clone())

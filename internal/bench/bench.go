@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -31,6 +32,8 @@ type Result struct {
 	XLabel string
 	X      []string
 	Series []Series
+	// Workers is the effective engine worker count the run measured.
+	Workers int
 	// Notes carries derived observations (speedups, crossovers).
 	Notes []string
 }
@@ -44,6 +47,9 @@ type Config struct {
 	Seed int64
 	// MaxPoints truncates the sweep for quick runs (0 = all points).
 	MaxPoints int
+	// Workers bounds the engines' worker pools (Graph.SetParallelism).
+	// 0 means runtime.GOMAXPROCS(0); 1 measures the sequential baseline.
+	Workers int
 }
 
 func (c Config) scale() float64 {
@@ -51,6 +57,22 @@ func (c Config) scale() float64 {
 		return 1
 	}
 	return c.Scale
+}
+
+// tune applies the run configuration to a freshly generated workload
+// graph. Runner clones inherit the parallelism setting, so tuning the
+// base graph tunes every engine measured against it.
+func (c Config) tune(g *graph.Graph) *graph.Graph {
+	g.SetParallelism(c.Workers)
+	return g
+}
+
+// workers reports the effective worker count, for result labeling.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // clip truncates a sweep to cfg.MaxPoints.
@@ -168,12 +190,13 @@ type jsonSeries struct {
 
 // jsonResult is the machine-readable form of one Result.
 type jsonResult struct {
-	ID     string       `json:"id"`
-	Title  string       `json:"title"`
-	XLabel string       `json:"xlabel"`
-	Points []string     `json:"points"`
-	Series []jsonSeries `json:"series"`
-	Notes  []string     `json:"notes,omitempty"`
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	XLabel  string       `json:"xlabel"`
+	Workers int          `json:"workers,omitempty"`
+	Points  []string     `json:"points"`
+	Series  []jsonSeries `json:"series"`
+	Notes   []string     `json:"notes,omitempty"`
 }
 
 // FormatJSON emits the result as a single machine-readable JSON object
@@ -181,12 +204,13 @@ type jsonResult struct {
 // ns/op. Benchmark trajectories (BENCH_*.json) are recorded in this form.
 func (r *Result) FormatJSON(w io.Writer) error {
 	out := jsonResult{
-		ID:     r.ID,
-		Title:  r.Title,
-		XLabel: r.XLabel,
-		Points: r.X,
-		Series: make([]jsonSeries, len(r.Series)),
-		Notes:  r.Notes,
+		ID:      r.ID,
+		Title:   r.Title,
+		XLabel:  r.XLabel,
+		Workers: r.Workers,
+		Points:  r.X,
+		Series:  make([]jsonSeries, len(r.Series)),
+		Notes:   r.Notes,
 	}
 	for i, s := range r.Series {
 		ns := make([]float64, len(s.Seconds))
@@ -239,7 +263,12 @@ func Run(id string, cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Figures(), ", "))
 	}
-	return fn(cfg)
+	res, err := fn(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Workers = cfg.workers()
+	return res, nil
 }
 
 // RunAll executes every experiment in order.

@@ -154,6 +154,7 @@ func varyDeltaFigure(cfg Config, id, title, dataset string, dsScale float64, mk 
 		// so motifs have non-trivial embeddings; see EXPERIMENTS.md.
 		g = gen.Densify(gen.Relabel(g, 6), g.NumEdges()/2, cfg.Seed+50)
 	}
+	g = cfg.tune(g)
 	runners, desc, err := mk(g)
 	if err != nil {
 		return nil, err
@@ -231,6 +232,7 @@ func figVaryKWSQuery(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	g = cfg.tune(g)
 	batch := updates(g, 10*g.NumEdges()/100, cfg.Seed+100)
 	params := clip(cfg, [][2]int{{2, 1}, {3, 2}, {4, 3}, {5, 4}, {6, 5}})
 	res := &Result{
@@ -260,7 +262,7 @@ func figVaryRPQQuery(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g = gen.Relabel(g, 5)
+	g = cfg.tune(gen.Relabel(g, 5))
 	batch := updates(g, 10*g.NumEdges()/100, cfg.Seed+100)
 	sizes := clip(cfg, []int{3, 4, 5, 6, 7})
 	res := &Result{
@@ -290,7 +292,7 @@ func figVaryISOQuery(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g = gen.Densify(gen.Relabel(g, 6), g.NumEdges()/2, cfg.Seed+50)
+	g = cfg.tune(gen.Densify(gen.Relabel(g, 6), g.NumEdges()/2, cfg.Seed+50))
 	batch := updates(g, 10*g.NumEdges()/100, cfg.Seed+100)
 	params := clip(cfg, [][3]int{{3, 5, 1}, {4, 6, 2}, {5, 7, 3}, {6, 8, 4}, {7, 9, 5}})
 	res := &Result{
@@ -344,6 +346,7 @@ func varyGFigure(cfg Config, id, title string, dsScale float64, mk func(g *graph
 		case "ISO":
 			g = gen.Densify(gen.Relabel(g, 6), g.NumEdges()/2, cfg.Seed+50)
 		}
+		g = cfg.tune(g)
 		runners, d, err := mk(g)
 		if err != nil {
 			return nil, err
@@ -401,6 +404,7 @@ func figUnit(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		g = cfg.tune(g)
 		runners, _, err := c.mk(g)
 		if err != nil {
 			return nil, err
@@ -455,6 +459,7 @@ func figOpt(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		g = cfg.tune(g)
 		runners, _, err := c.mk(g)
 		if err != nil {
 			return nil, err
@@ -526,6 +531,7 @@ func figAblation(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	g = cfg.tune(g)
 	res := &Result{
 		ID:     "ablation",
 		Title:  fmt.Sprintf("IncSCC ablations at |ΔG|=10%% (livej-sim |V|=%d |E|=%d)", g.NumNodes(), g.NumEdges()),

@@ -58,6 +58,20 @@ func (m *Meter) AddHeapOps(n int) {
 	}
 }
 
+// Merge folds another meter's counters into m. The parallel engines give
+// each worker a private meter and merge after the join, so the hot loops
+// never contend on shared counters; addition is commutative, so the merged
+// totals match a sequential run exactly.
+func (m *Meter) Merge(o *Meter) {
+	if m == nil || o == nil {
+		return
+	}
+	m.Nodes += o.Nodes
+	m.Edges += o.Edges
+	m.Entries += o.Entries
+	m.HeapOps += o.HeapOps
+}
+
 // Total returns the sum of all counters: a single scalar proxy for work.
 func (m *Meter) Total() int {
 	if m == nil {

@@ -27,6 +27,9 @@ type adjSet struct {
 	set map[NodeID]struct{}
 	// dirty marks the cached list stale (map mode only).
 	dirty bool
+	// queued marks the set as registered in its graph's dirtySorted list,
+	// so Graph.noteDirty enqueues each set at most once per flush cycle.
+	queued bool
 }
 
 const (

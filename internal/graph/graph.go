@@ -28,12 +28,18 @@
 //     visited array over slots plus pooled queues (scratch.go) instead of
 //     allocating map[NodeID]bool per call.
 //
-// Graphs are not safe for concurrent use.
+// Concurrency contract (parallel.go): mutations require exclusive access,
+// but between mutations any number of goroutines may read and traverse the
+// graph concurrently — call PrepareConcurrentReads after the last mutation
+// to flush the lazily rebuilt sorted-adjacency caches first. The parallel
+// engines in kws, rpq and iso are built on exactly this split.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node. IDs are arbitrary; they need not be dense.
@@ -65,7 +71,16 @@ type Graph struct {
 	// of its current label, and nowhere else.
 	byLabel map[LabelID]*adjSet
 	edges   int
-	scratch scratch
+	// primaryScratch and scratchPool form the worker-keyed traversal
+	// scratch pool (scratch.go); concurrent and nested traversals each
+	// check out their own buffer.
+	primaryScratch atomic.Pointer[scratch]
+	scratchPool    sync.Pool
+	// dirtySorted queues map-mode adjacency sets whose sorted cache a
+	// mutation invalidated; PrepareConcurrentReads drains it (parallel.go).
+	dirtySorted []*adjSet
+	// workers is the SetParallelism budget; 0 means runtime.GOMAXPROCS(0).
+	workers int
 }
 
 // New returns an empty graph.
@@ -116,12 +131,14 @@ func (g *Graph) labelIndexAdd(lid LabelID, v NodeID) {
 		g.byLabel[lid] = set
 	}
 	set.add(v)
+	g.noteDirty(set)
 }
 
 // labelIndexRemove removes v from the inverted index under lid.
 func (g *Graph) labelIndexRemove(lid LabelID, v NodeID) {
 	if set := g.byLabel[lid]; set != nil {
 		set.remove(v)
+		g.noteDirty(set)
 		if set.len() == 0 {
 			delete(g.byLabel, lid)
 		}
@@ -187,6 +204,8 @@ func (g *Graph) AddEdge(v, w NodeID) bool {
 		return false
 	}
 	rw.in.add(v)
+	g.noteDirty(&rv.out)
+	g.noteDirty(&rw.in)
 	g.edges++
 	return true
 }
@@ -198,7 +217,10 @@ func (g *Graph) DeleteEdge(v, w NodeID) bool {
 	if !ok || !rv.out.remove(w) {
 		return false
 	}
-	g.nodes[w].in.remove(v)
+	rw := g.nodes[w]
+	rw.in.remove(v)
+	g.noteDirty(&rv.out)
+	g.noteDirty(&rw.in)
 	g.edges--
 	return true
 }
@@ -211,7 +233,9 @@ func (g *Graph) DeleteNode(v NodeID) bool {
 		return false
 	}
 	rec.out.forEach(func(w NodeID) bool {
-		g.nodes[w].in.remove(v)
+		set := &g.nodes[w].in
+		set.remove(v)
+		g.noteDirty(set)
 		g.edges--
 		return true
 	})
@@ -220,7 +244,9 @@ func (g *Graph) DeleteNode(v NodeID) bool {
 		if u == v {
 			return true
 		}
-		g.nodes[u].out.remove(v)
+		set := &g.nodes[u].out
+		set.remove(v)
+		g.noteDirty(set)
 		g.edges--
 		return true
 	})
@@ -395,22 +421,27 @@ func (g *Graph) Clone() *Graph {
 		slotCap: g.slotCap,
 		byLabel: make(map[LabelID]*adjSet, len(g.byLabel)),
 		edges:   g.edges,
+		workers: g.workers,
 	}
 	if len(g.free) > 0 {
 		c.free = make([]int32, len(g.free))
 		copy(c.free, g.free)
 	}
 	for v, rec := range g.nodes {
-		c.nodes[v] = &node{
+		cn := &node{
 			label: rec.label,
 			slot:  rec.slot,
 			out:   rec.out.clone(),
 			in:    rec.in.clone(),
 		}
+		c.nodes[v] = cn
+		c.noteDirty(&cn.out)
+		c.noteDirty(&cn.in)
 	}
 	for lid, set := range g.byLabel {
 		cs := set.clone()
 		c.byLabel[lid] = &cs
+		c.noteDirty(&cs)
 	}
 	return c
 }

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution support. The graph substrate follows a two-phase
+// concurrency contract:
+//
+//   - Mutations (AddNode, AddEdge, DeleteEdge, DeleteNode, Apply*) require
+//     exclusive access: no other goroutine may touch the graph while one
+//     runs.
+//   - Between mutations the graph is read-shareable: any number of
+//     goroutines may run queries and traversal kernels concurrently,
+//     provided PrepareConcurrentReads ran after the last mutation (it
+//     flushes the lazily rebuilt sorted-adjacency caches that reads would
+//     otherwise race to rebuild).
+//
+// The incremental engines (kws, rpq, iso) lean on this split: they apply
+// ΔG serially, then fan their repair work out across workers against the
+// read-only graph. SetParallelism caps that fan-out.
+
+// SetParallelism sets the worker budget used by the parallel batch builds
+// and incremental repairs of the engines maintaining this graph, and by any
+// ParallelFor keyed off this graph. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0). n == 1 forces sequential execution (useful for
+// deterministic debugging and baseline measurements). Clones inherit the
+// setting. Not safe to call concurrently with reads; set it up front.
+func (g *Graph) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.workers = n
+}
+
+// Parallelism returns the effective worker budget: the value set with
+// SetParallelism, or runtime.GOMAXPROCS(0) when unset.
+func (g *Graph) Parallelism() int {
+	if g.workers > 0 {
+		return g.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PrepareConcurrentReads makes the graph safe for concurrent readers by
+// eagerly rebuilding every sorted-adjacency cache invalidated since the
+// last call. Sorted access (SuccessorsSorted, NodesWithLabelID, ...) is
+// otherwise rebuilt lazily on first use — a benign single-threaded
+// optimization that becomes a data race when two readers hit the same
+// stale cache. Engines call this after applying ΔG, before fanning out;
+// cost is proportional to the adjacency actually dirtied by the mutations.
+func (g *Graph) PrepareConcurrentReads() {
+	for _, a := range g.dirtySorted {
+		a.queued = false
+		if a.set != nil && a.dirty {
+			a.sorted()
+		}
+	}
+	g.dirtySorted = g.dirtySorted[:0]
+}
+
+// noteDirty registers an adjacency set whose sorted cache a mutation just
+// invalidated, so PrepareConcurrentReads can rebuild it eagerly.
+func (g *Graph) noteDirty(a *adjSet) {
+	if a.set != nil && a.dirty && !a.queued {
+		a.queued = true
+		g.dirtySorted = append(g.dirtySorted, a)
+	}
+}
+
+// ParallelFor runs fn(worker, i) for every i in [0, n), distributing
+// iterations across at most `workers` goroutines via an atomic work
+// counter (cheap dynamic load balancing: iterations of very different
+// cost — one keyword's BFS vs another's — still pack well). worker is a
+// dense id in [0, effective workers), so callers can key per-worker
+// accumulators (meters, delta buffers) off it and merge deterministically
+// afterwards. With workers <= 1 (or n <= 1) it degrades to a plain
+// sequential loop on the calling goroutine. A panic in any iteration is
+// re-raised on the calling goroutine after all workers stop.
+func ParallelFor(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stop.Store(true)
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

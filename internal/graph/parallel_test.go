@@ -1,0 +1,247 @@
+package graph
+
+// Tests for the concurrency layer: the worker-keyed scratch pool under
+// concurrent and nested traversals, the eager sorted-cache flush of
+// PrepareConcurrentReads, and the ParallelFor worker-pool primitive.
+// Run with -race to make the concurrent cases meaningful.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentTraversals hammers one read-shared graph with every
+// traversal kernel from many goroutines and checks each result against
+// the sequential answer: concurrent traversals must neither corrupt each
+// other's visited state nor disagree with a lone run.
+func TestConcurrentTraversals(t *testing.T) {
+	g := warmGraph(t, 800)
+	g.PrepareConcurrentReads()
+
+	bfsCount := func(src NodeID) int {
+		n := 0
+		g.BFSFrom([]NodeID{src}, func(NodeID, int) bool { n++; return true })
+		return n
+	}
+	hoodCount := func(src NodeID) int {
+		n := 0
+		g.ForEachWithin([]NodeID{src}, 3, func(NodeID, int) bool { n++; return true })
+		return n
+	}
+	type want struct {
+		src          NodeID
+		bfs, hood    int
+		reaches      bool
+		shortestDist int
+	}
+	wants := make([]want, 64)
+	for i := range wants {
+		src := NodeID(i * 12)
+		wants[i] = want{
+			src:          src,
+			bfs:          bfsCount(src),
+			hood:         hoodCount(src),
+			reaches:      g.Reaches(src, 799),
+			shortestDist: g.ShortestDist(0, src),
+		}
+	}
+
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				w := wants[(worker*20+rep*7)%len(wants)]
+				if got := bfsCount(w.src); got != w.bfs {
+					t.Errorf("concurrent BFSFrom(%d) reached %d nodes, want %d", w.src, got, w.bfs)
+				}
+				if got := hoodCount(w.src); got != w.hood {
+					t.Errorf("concurrent ForEachWithin(%d) reached %d nodes, want %d", w.src, got, w.hood)
+				}
+				if got := g.Reaches(w.src, 799); got != w.reaches {
+					t.Errorf("concurrent Reaches(%d,799) = %v, want %v", w.src, got, w.reaches)
+				}
+				if got := g.ShortestDist(0, w.src); got != w.shortestDist {
+					t.Errorf("concurrent ShortestDist(0,%d) = %d, want %d", w.src, got, w.shortestDist)
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSortedReads mutates a hub past the map-mode threshold,
+// flushes with PrepareConcurrentReads, and then reads the sorted adjacency
+// and label index from many goroutines. Without the eager flush the lazy
+// cache rebuild inside sorted() is a write that -race flags.
+func TestConcurrentSortedReads(t *testing.T) {
+	g := New()
+	hub := NodeID(0)
+	g.AddNode(hub, "hub")
+	for i := 1; i <= 4*promoteDegree; i++ {
+		g.AddNode(NodeID(i), "leaf")
+		g.AddEdge(hub, NodeID(i))
+	}
+	// Dirty the map-mode caches: delete a few edges, relabel some nodes.
+	for i := 1; i <= 4; i++ {
+		g.DeleteEdge(hub, NodeID(i))
+		g.AddNode(NodeID(i), "spare")
+	}
+	g.PrepareConcurrentReads()
+
+	wantSucc := append([]NodeID(nil), g.SuccessorsSorted(hub)...)
+	wantLeaves := g.NodesWithLabel("leaf")
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				succ := g.SuccessorsSorted(hub)
+				if len(succ) != len(wantSucc) {
+					t.Errorf("SuccessorsSorted: %d successors, want %d", len(succ), len(wantSucc))
+					return
+				}
+				for i := range succ {
+					if succ[i] != wantSucc[i] {
+						t.Errorf("SuccessorsSorted[%d] = %d, want %d", i, succ[i], wantSucc[i])
+						return
+					}
+				}
+				leaves := g.NodesWithLabel("leaf")
+				if len(leaves) != len(wantLeaves) {
+					t.Errorf("NodesWithLabel: %d leaves, want %d", len(leaves), len(wantLeaves))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNestedTraversalPooled pins the satellite fix: a kernel invoked from
+// another kernel's callback draws its scratch from the pool instead of
+// allocating a fresh visited array per inner call. The whole nested sweep
+// (100 inner probes) must cost at most a handful of allocations — the old
+// fallback paid one full buffer per probe.
+func TestNestedTraversalPooled(t *testing.T) {
+	g := warmGraph(t, 500)
+	sources := []NodeID{0}
+	reached := 0
+	nested := func() {
+		reached = 0
+		g.BFSFrom(sources, func(v NodeID, _ int) bool {
+			if v%5 == 0 && g.Reaches(v, 499) { // nested kernel per callback
+				reached++
+			}
+			return true
+		})
+	}
+	nested() // warm both pool tiers
+	nested()
+	if reached == 0 {
+		t.Fatal("nested probes found nothing")
+	}
+	allocs := testing.AllocsPerRun(20, nested)
+	// ~100 inner probes per run: the pre-pool fallback allocated one
+	// visited array (and queue) per probe. Allow a little slack for a GC
+	// clearing the overflow pool mid-measurement.
+	if allocs > 10 {
+		t.Fatalf("nested traversal: %.1f allocs/op, want ~0 (pool miss per inner call?)", allocs)
+	}
+}
+
+// TestParallelForCoverageAndPanic checks the work-distribution primitive:
+// every index runs exactly once, worker ids stay in range, sequential
+// degradation works, and a worker panic surfaces on the caller.
+func TestParallelForCoverageAndPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 253
+		hits := make([]int32, n)
+		maxWorker := workers
+		if maxWorker > n {
+			maxWorker = n
+		}
+		ParallelFor(workers, n, func(worker, i int) {
+			if worker < 0 || worker >= maxWorker {
+				t.Errorf("worker id %d out of range [0,%d)", worker, maxWorker)
+			}
+			hits[i]++
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, h)
+			}
+		}
+	}
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	ParallelFor(4, 100, func(_, i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+// TestScratchPoolReuse checks the two-tier pool directly: a traversal
+// returns its buffer, the next traversal reuses it (same backing array),
+// and concurrent checkouts hand out distinct buffers.
+func TestScratchPoolReuse(t *testing.T) {
+	g := warmGraph(t, 100)
+	s1 := g.acquire()
+	g.release(s1)
+	s2 := g.acquire()
+	if s1 != s2 {
+		t.Error("sequential acquire did not reuse the released buffer")
+	}
+	s3 := g.acquire()
+	if s3 == s2 {
+		t.Fatal("overlapping acquires returned the same buffer")
+	}
+	if len(s2.visited) < int(g.slotCap) || len(s3.visited) < int(g.slotCap) {
+		t.Fatal("acquired buffer not sized to slotCap")
+	}
+	g.release(s2)
+	g.release(s3)
+}
+
+// TestCloneInheritsParallelismAndFlushes checks that clones carry the
+// worker budget and that a clone of a graph with dirty sorted caches can
+// serve concurrent sorted reads right after PrepareConcurrentReads.
+func TestCloneInheritsParallelismAndFlushes(t *testing.T) {
+	g := New()
+	g.SetParallelism(3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		g.AddNode(NodeID(i), "l")
+	}
+	for i := 0; i < 3000; i++ {
+		v, w := NodeID(rng.Intn(200)), NodeID(rng.Intn(200))
+		if v != w && !g.HasEdge(v, w) {
+			g.AddEdge(v, w) // hubs promote to map mode with dirty caches
+		}
+	}
+	c := g.Clone()
+	if got := c.Parallelism(); got != 3 {
+		t.Fatalf("clone Parallelism() = %d, want 3", got)
+	}
+	c.PrepareConcurrentReads()
+	var wg sync.WaitGroup
+	for worker := 0; worker < 4; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = c.SuccessorsSorted(NodeID(i))
+				_ = c.PredecessorsSorted(NodeID(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,14 +1,23 @@
 package graph
 
-// Traversal scratch space. Every graph owns one lazily grown scratch
-// buffer holding an epoch-stamped visited array (indexed by the dense node
-// slot assigned at AddNode) and reusable queue/stack backing arrays, so the
-// BFS/DFS kernels in traverse.go allocate nothing on a warm graph.
+// Traversal scratch space. Every graph owns a lock-free pool of scratch
+// buffers, each holding an epoch-stamped visited array (indexed by the dense
+// node slot assigned at AddNode) and reusable queue/stack backing arrays, so
+// the BFS/DFS kernels in traverse.go allocate nothing on a warm graph.
 //
-// Graphs are not safe for concurrent use (that has always been the
-// contract), so a single buffer suffices; the inUse flag makes *nested*
-// traversals — a kernel invoked from another kernel's callback — fall back
-// to a freshly allocated buffer instead of corrupting the outer walk.
+// The pool is worker-keyed and lock-free: concurrent traversals — the
+// parallel batch builds and repair fan-outs of kws/rpq/iso, or caller
+// goroutines reading between mutations — each check out their own buffer,
+// and nested traversals (a kernel invoked from another kernel's callback)
+// simply check out a second one instead of corrupting the outer walk. Each
+// buffer carries its own epoch counter, so stamps never leak between
+// buffers, and release returns the buffer for reuse by any later traversal.
+//
+// Storage is two-tier: an atomic primary slot holds one buffer with a
+// strong reference (so the single-threaded hot path stays allocation-free
+// even across GCs), and a sync.Pool absorbs the overflow buffers that only
+// exist while traversals actually overlap (GC reclaims those when the
+// fan-out ends).
 
 // qitem is one BFS frontier entry: a node and its hop distance.
 type qitem struct {
@@ -17,22 +26,25 @@ type qitem struct {
 }
 
 type scratch struct {
-	inUse   bool
 	epoch   uint32
 	visited []uint32 // slot -> epoch at which the slot was last seen
 	queue   []qitem
 	stack   []NodeID
 }
 
-// acquire returns a scratch buffer ready for one traversal over g: the
-// graph's own buffer when free, or a throwaway one when a traversal is
-// already running. Call release on the result when done.
+// acquire checks a scratch buffer out of the graph's pool, ready for one
+// traversal over g (visited sized to slotCap, fresh epoch, empty queue and
+// stack). Call g.release on the result when done. Safe for concurrent use
+// as long as the graph is not mutated underneath (see the concurrency
+// contract in the package comment).
 func (g *Graph) acquire() *scratch {
-	s := &g.scratch
-	if s.inUse {
+	s := g.primaryScratch.Swap(nil)
+	if s == nil {
+		s, _ = g.scratchPool.Get().(*scratch)
+	}
+	if s == nil {
 		s = &scratch{}
 	}
-	s.inUse = true
 	if n := int(g.slotCap); len(s.visited) < n {
 		grown := make([]uint32, n+n/2+8)
 		copy(grown, s.visited)
@@ -48,7 +60,13 @@ func (g *Graph) acquire() *scratch {
 	return s
 }
 
-func (s *scratch) release() { s.inUse = false }
+// release returns a scratch buffer to the pool: back into the primary
+// slot when it is free, else into the overflow pool.
+func (g *Graph) release(s *scratch) {
+	if !g.primaryScratch.CompareAndSwap(nil, s) {
+		g.scratchPool.Put(s)
+	}
+}
 
 // seen stamps slot and reports whether it was already stamped this epoch.
 func (s *scratch) seen(slot int32) bool {

@@ -4,10 +4,12 @@ package graph
 // incremental algorithms: directed and undirected BFS, d-hop neighborhoods
 // (Section 4.1 of the paper), and reachability probes.
 //
-// All kernels run on the graph's scratch buffer (scratch.go): an
-// epoch-stamped visited array over dense node slots and reusable
+// All kernels run on buffers from the graph's scratch pool (scratch.go):
+// an epoch-stamped visited array over dense node slots and reusable
 // queue/stack backing arrays. On a warm graph they allocate nothing beyond
-// what their results require.
+// what their results require, and because every traversal checks out its
+// own buffer, any number of kernels may run concurrently between mutations
+// (see the concurrency contract in parallel.go).
 //
 // Contract: traversal callbacks must not mutate the graph. The kernels
 // hold node records and a visited array sized at entry, so a callback
@@ -18,7 +20,7 @@ package graph
 // bfsFrom is the shared directed-BFS kernel. rev walks predecessors.
 func (g *Graph) bfsFrom(sources []NodeID, rev bool, fn func(v NodeID, dist int) bool) {
 	s := g.acquire()
-	defer s.release()
+	defer g.release(s)
 	for _, src := range sources {
 		rec, ok := g.nodes[src]
 		if !ok || s.seen(rec.slot) {
@@ -71,7 +73,7 @@ func (g *Graph) Reaches(v, w NodeID) bool {
 		return true
 	}
 	s := g.acquire()
-	defer s.release()
+	defer g.release(s)
 	s.seen(rec.slot)
 	s.stack = append(s.stack, v)
 	found := false
@@ -98,7 +100,7 @@ func (g *Graph) Reaches(v, w NodeID) bool {
 // walk. This is the allocation-free kernel under NeighborhoodNodes.
 func (g *Graph) ForEachWithin(seeds []NodeID, d int, fn func(v NodeID, dist int) bool) {
 	s := g.acquire()
-	defer s.release()
+	defer g.release(s)
 	for _, seed := range seeds {
 		rec, ok := g.nodes[seed]
 		if !ok || s.seen(rec.slot) {
@@ -164,7 +166,7 @@ func (g *Graph) ShortestDist(v, w NodeID) int {
 		return 0
 	}
 	s := g.acquire()
-	defer s.release()
+	defer g.release(s)
 	s.seen(rec.slot)
 	s.queue = append(s.queue, qitem{v, 0})
 	res := -1
@@ -188,7 +190,7 @@ func (g *Graph) ShortestDist(v, w NodeID) int {
 // each as a sorted slice of node IDs, ordered by their smallest member.
 func (g *Graph) UndirectedComponents() [][]NodeID {
 	s := g.acquire()
-	defer s.release()
+	defer g.release(s)
 	var comps [][]NodeID
 	for _, start := range g.NodesSorted() {
 		if s.seen(g.nodes[start].slot) {

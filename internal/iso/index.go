@@ -32,6 +32,10 @@ type Delta struct {
 func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
 
 // Build enumerates Q(G) with VF2 and indexes it. The meter may be nil.
+// With workers available the enumeration fans out across g.Parallelism()
+// workers (indexing the collected matches stays serial, in enumeration
+// order); sequential builds stream matches straight into the index
+// without materializing Q(G) twice.
 func Build(g *graph.Graph, p *Pattern, meter *cost.Meter) *Index {
 	ix := &Index{
 		g:       g,
@@ -39,6 +43,12 @@ func Build(g *graph.Graph, p *Pattern, meter *cost.Meter) *Index {
 		matches: make(map[string]Match),
 		byEdge:  make(map[graph.Edge]map[string]struct{}),
 		meter:   meter,
+	}
+	if workers := g.Parallelism(); workers > 1 {
+		for _, m := range findAllParallel(g, p, workers, meter) {
+			ix.add(m)
+		}
+		return ix
 	}
 	Enumerate(g, p, nil, meter, func(m Match) bool {
 		ix.add(m)
@@ -147,13 +157,34 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 	// in the old Q(G) must use at least one inserted edge, so anchoring
 	// each pattern edge on each inserted edge enumerates exactly the new
 	// matches — all of them inside the d_Q-neighborhood of ΔG+, which is
-	// what keeps IncISO localizable.
+	// what keeps IncISO localizable. The per-edge anchored enumerations
+	// are pure reads of the post-update graph, so they fan out across
+	// workers; indexing (with its cross-anchor dedup) stays serial, in
+	// insertion order, matching the sequential result exactly.
+	for _, u := range ins {
+		ix.g.AddEdge(u.From, u.To)
+	}
+	workers := ix.g.Parallelism()
+	if workers > 1 {
+		// Unconditionally (even for delete-only batches): parallel engines
+		// leave the graph read-shareable between Apply calls.
+		ix.g.PrepareConcurrentReads()
+	}
 	if len(ins) > 0 {
-		for _, u := range ins {
-			ix.g.AddEdge(u.From, u.To)
+		found := make([][]Match, len(ins))
+		meters := make([]cost.Meter, workers)
+		graph.ParallelFor(workers, len(ins), func(worker, i int) {
+			found[i] = ix.anchoredMatches(ins[i], &meters[worker])
+		})
+		for i := range meters {
+			ix.meter.Merge(&meters[i])
 		}
-		for _, u := range ins {
-			ix.anchorInsertions(u, &d)
+		for _, ms := range found {
+			for _, m := range ms {
+				if ix.add(m) {
+					d.Added = append(d.Added, m)
+				}
+			}
 		}
 	}
 	sortMatches(d.Added)
@@ -161,9 +192,12 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 	return d, nil
 }
 
-// anchorInsertions enumerates the matches created by inserted edge u by
-// pinning every label-compatible pattern edge onto it.
-func (ix *Index) anchorInsertions(u graph.Update, d *Delta) {
+// anchoredMatches enumerates the matches created by inserted edge u by
+// pinning every label-compatible pattern edge onto it. Read-only (the
+// same match may surface from several anchors; the caller dedups via add),
+// so anchors enumerate concurrently.
+func (ix *Index) anchoredMatches(u graph.Update, meter *cost.Meter) []Match {
+	var out []Match
 	lf, lt := ix.g.LabelIDAt(u.From), ix.g.LabelIDAt(u.To)
 	pg := ix.p.Graph()
 	pg.Edges(func(pe graph.Edge) bool {
@@ -177,14 +211,13 @@ func (ix *Index) anchorInsertions(u graph.Update, d *Delta) {
 		if pe.From != pe.To {
 			anchor[pe.To] = u.To
 		}
-		EnumerateAnchored(ix.g, ix.p, anchor, ix.meter, func(m Match) bool {
-			if ix.add(m) {
-				d.Added = append(d.Added, m)
-			}
+		EnumerateAnchored(ix.g, ix.p, anchor, meter, func(m Match) bool {
+			out = append(out, m)
 			return true
 		})
 		return true
 	})
+	return out
 }
 
 // ApplyUnitwise is IncISOn, the baseline of the paper's experiments: each

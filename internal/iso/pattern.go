@@ -51,6 +51,9 @@ func NewPattern(q *graph.Graph) (*Pattern, error) {
 	}
 	p.computeOrder()
 	p.computeDiameter()
+	// Parallel enumerators read the pattern graph from many goroutines;
+	// flush its lazily sorted caches once, up front.
+	q.PrepareConcurrentReads()
 	p.edgeOrders = make(map[graph.Edge][]graph.NodeID, q.NumEdges())
 	q.Edges(func(e graph.Edge) bool {
 		seed := []graph.NodeID{e.From}

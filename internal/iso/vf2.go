@@ -22,12 +22,80 @@ import (
 
 // FindAll enumerates every match of p in g, in no particular order.
 // A negative or zero limit means unlimited.
+//
+// Unlimited whole-graph runs fan VF2 out across g.Parallelism() workers by
+// partitioning the candidate images of the first search-order node; the
+// concatenated result is in exactly the sequential enumeration order.
+// Limited runs stay sequential so the enumeration prefix is deterministic.
 func FindAll(g *graph.Graph, p *Pattern, limit int, meter *cost.Meter) []Match {
+	if limit <= 0 {
+		if workers := g.Parallelism(); workers > 1 {
+			return findAllParallel(g, p, workers, meter)
+		}
+	}
 	var out []Match
 	Enumerate(g, p, nil, meter, func(m Match) bool {
 		out = append(out, m)
 		return limit <= 0 || len(out) < limit
 	})
+	return out
+}
+
+// findAllParallel is the multi-core batch enumerator: one VF2 subtree per
+// candidate image of the root pattern node, distributed over a worker pool.
+// Each worker owns a private searcher and meter; per-candidate result
+// buckets are concatenated in candidate (ascending NodeID) order, which is
+// the order the sequential searcher would have produced.
+func findAllParallel(g *graph.Graph, p *Pattern, workers int, meter *cost.Meter) []Match {
+	g.PrepareConcurrentReads()
+	u0 := p.order[0]
+	lbl := p.g.LabelIDAt(u0)
+	cands := make([]graph.NodeID, 0, g.NumNodesWithLabelID(lbl))
+	g.NodesWithLabelID(lbl, func(v graph.NodeID) bool {
+		cands = append(cands, v)
+		return true
+	})
+	buckets := make([][]Match, len(cands))
+	meters := make([]cost.Meter, workers)
+	// One searcher per worker, reset per candidate: the candidate-level
+	// tasks are tiny, so per-candidate map allocations would dominate.
+	searchers := make([]*searcher, workers)
+	curIdx := make([]int, workers)
+	graph.ParallelFor(workers, len(cands), func(worker, i int) {
+		s := searchers[worker]
+		if s == nil {
+			s = &searcher{
+				g:     g,
+				p:     p,
+				core:  make(map[graph.NodeID]graph.NodeID, len(p.nodes)),
+				used:  make(map[graph.NodeID]bool, len(p.nodes)),
+				meter: &meters[worker],
+			}
+			s.order = p.order
+			w := worker
+			s.fn = func(m Match) bool {
+				buckets[curIdx[w]] = append(buckets[curIdx[w]], m)
+				return true
+			}
+			searchers[worker] = s
+		}
+		curIdx[worker] = i
+		clear(s.core)
+		clear(s.used)
+		v := cands[i]
+		if s.feasible(u0, v) {
+			s.core[u0] = v
+			s.used[v] = true
+			s.extend(1)
+		}
+	})
+	for i := range meters {
+		meter.Merge(&meters[i])
+	}
+	var out []Match
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
 	return out
 }
 

@@ -41,7 +41,7 @@ func (ix *Index) ExtendBound(b int) (Delta, error) {
 				q.Push(v, old)
 			}
 		}
-		ix.settle(i, q, t)
+		ix.settle(i, q, t, ix.meter)
 		ix.meter.AddHeapOps(q.Ops)
 	}
 	// Every node that gained a finite distance may have become a match.

@@ -2,7 +2,9 @@ package kws
 
 import (
 	"fmt"
+	"sort"
 
+	"incgraph/internal/cost"
 	"incgraph/internal/graph"
 	"incgraph/internal/pq"
 )
@@ -62,8 +64,22 @@ func (t *touchTracker) touch(v graph.NodeID) {
 	}
 }
 
+// merge folds another tracker's pre-state into t. Workers repairing
+// different keywords may touch the same node; the remembered pre-rows are
+// identical (the match set is immutable during repair), so first-write-wins
+// makes the union independent of worker scheduling.
+func (t *touchTracker) merge(o *touchTracker) {
+	for v, pre := range o.pre {
+		if _, ok := t.pre[v]; !ok {
+			t.pre[v] = pre
+		}
+	}
+}
+
 // delta refreshes the match rows of all touched nodes and diffs them
-// against the remembered pre-state.
+// against the remembered pre-state. Output slices are sorted by root, so
+// the delta is deterministic regardless of map iteration and of how many
+// workers repaired the keywords.
 func (t *touchTracker) delta() Delta {
 	var d Delta
 	for v, old := range t.pre {
@@ -80,6 +96,12 @@ func (t *touchTracker) delta() Delta {
 			d.Updated = append(d.Updated, m)
 		}
 	}
+	byRoot := func(ms []Match) func(i, j int) bool {
+		return func(i, j int) bool { return ms[i].Root < ms[j].Root }
+	}
+	sort.Slice(d.Added, byRoot(d.Added))
+	sort.Slice(d.Updated, byRoot(d.Updated))
+	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i] < d.Removed[j] })
 	return d
 }
 
@@ -116,7 +138,7 @@ func (ix *Index) ApplyInsert(u graph.Update) (Delta, error) {
 	ix.ensureRow(u.From, t)
 	ix.ensureRow(u.To, t)
 	for i := range ix.q.Keywords {
-		ix.insertKeyword(i, u.From, u.To, t)
+		ix.insertKeyword(i, u.From, u.To, t, ix.meter)
 	}
 	return t.delta(), nil
 }
@@ -124,10 +146,10 @@ func (ix *Index) ApplyInsert(u graph.Update) (Delta, error) {
 // insertKeyword is IncKWS+ lines 1–8 for a single keyword: if (v,w) creates
 // a shorter path from v to keyword i, update kdist(v) and propagate the
 // decrease to ancestors with a FIFO queue.
-func (ix *Index) insertKeyword(i int, v, w graph.NodeID, t *touchTracker) {
+func (ix *Index) insertKeyword(i int, v, w graph.NodeID, t *touchTracker, meter *cost.Meter) {
 	wRow := ix.kdist[w]
 	vRow := ix.kdist[v]
-	ix.meter.AddEntries(1)
+	meter.AddEntries(1)
 	if wRow[i].Dist+1 >= vRow[i].Dist || wRow[i].Dist+1 > ix.q.Bound {
 		return
 	}
@@ -137,18 +159,18 @@ func (ix *Index) insertKeyword(i int, v, w graph.NodeID, t *touchTracker) {
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		ix.meter.AddNodes(1)
+		meter.AddNodes(1)
 		xd := ix.kdist[x][i].Dist
 		if xd >= ix.q.Bound {
 			continue // propagation cannot improve beyond the bound
 		}
 		ix.g.Predecessors(x, func(p graph.NodeID) bool {
-			ix.meter.AddEdges(1)
+			meter.AddEdges(1)
 			pRow := ix.kdist[p]
 			if xd+1 < pRow[i].Dist && xd+1 <= ix.q.Bound {
 				t.touch(p)
 				pRow[i] = Entry{Dist: xd + 1, Next: x}
-				ix.meter.AddEntries(1)
+				meter.AddEntries(1)
 				queue = append(queue, p)
 			}
 			return true
@@ -166,10 +188,10 @@ func (ix *Index) ApplyDelete(u graph.Update) (Delta, error) {
 		return Delta{}, err
 	}
 	for i := range ix.q.Keywords {
-		affected := ix.identifyAffected(i, []graph.Update{u})
+		affected := ix.identifyAffected(i, []graph.Update{u}, ix.meter)
 		q := pq.New[graph.NodeID]()
-		ix.computePotentials(i, affected, q, t)
-		ix.settle(i, q, t)
+		ix.computePotentials(i, affected, q, t, ix.meter)
+		ix.settle(i, q, t, ix.meter)
 		ix.meter.AddHeapOps(q.Ops)
 	}
 	return t.delta(), nil
@@ -178,7 +200,7 @@ func (ix *Index) ApplyDelete(u graph.Update) (Delta, error) {
 // identifyAffected is IncKWS− lines 1–6 generalized to several deletions:
 // every node whose chosen shortest path to keyword i ran through a deleted
 // edge, transitively along next pointers, is marked affected.
-func (ix *Index) identifyAffected(i int, dels []graph.Update) map[graph.NodeID]bool {
+func (ix *Index) identifyAffected(i int, dels []graph.Update, meter *cost.Meter) map[graph.NodeID]bool {
 	affected := make(map[graph.NodeID]bool)
 	var stack []graph.NodeID
 	for _, d := range dels {
@@ -194,9 +216,9 @@ func (ix *Index) identifyAffected(i int, dels []graph.Update) map[graph.NodeID]b
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		ix.meter.AddNodes(1)
+		meter.AddNodes(1)
 		ix.g.Predecessors(x, func(p graph.NodeID) bool {
-			ix.meter.AddEdges(1)
+			meter.AddEdges(1)
 			pRow := ix.kdist[p]
 			if !affected[p] && pRow[i].Next == x && pRow[i].Dist <= ix.q.Bound {
 				affected[p] = true
@@ -211,12 +233,12 @@ func (ix *Index) identifyAffected(i int, dels []graph.Update) map[graph.NodeID]b
 // computePotentials is IncKWS− lines 7–9: each affected node gets a
 // tentative distance computed from its unaffected successors, and is queued
 // for the settle phase when within bound.
-func (ix *Index) computePotentials(i int, affected map[graph.NodeID]bool, q *pq.Heap[graph.NodeID], t *touchTracker) {
+func (ix *Index) computePotentials(i int, affected map[graph.NodeID]bool, q *pq.Heap[graph.NodeID], t *touchTracker, meter *cost.Meter) {
 	for v := range affected {
 		t.touch(v)
 		best := Entry{Dist: Unreachable, Next: NoNext}
 		ix.g.Successors(v, func(s graph.NodeID) bool {
-			ix.meter.AddEdges(1)
+			meter.AddEdges(1)
 			if affected[s] {
 				return true
 			}
@@ -233,7 +255,7 @@ func (ix *Index) computePotentials(i int, affected map[graph.NodeID]bool, q *pq.
 			best = Entry{Dist: Unreachable, Next: NoNext}
 		}
 		ix.kdist[v][i] = best
-		ix.meter.AddEntries(1)
+		meter.AddEntries(1)
 		if best.Dist <= ix.q.Bound {
 			q.Push(v, best.Dist)
 		}
@@ -243,10 +265,10 @@ func (ix *Index) computePotentials(i int, affected map[graph.NodeID]bool, q *pq.
 // settle is IncKWS− lines 10–14: Dijkstra-style settling of exact values in
 // monotonically increasing distance order, relaxing predecessors within the
 // bound.
-func (ix *Index) settle(i int, q *pq.Heap[graph.NodeID], t *touchTracker) {
+func (ix *Index) settle(i int, q *pq.Heap[graph.NodeID], t *touchTracker, meter *cost.Meter) {
 	for q.Len() > 0 {
 		v, d, _ := q.Pop()
-		ix.meter.AddNodes(1)
+		meter.AddNodes(1)
 		if d != ix.kdist[v][i].Dist {
 			continue // superseded by a later decrease
 		}
@@ -254,12 +276,12 @@ func (ix *Index) settle(i int, q *pq.Heap[graph.NodeID], t *touchTracker) {
 			continue // cannot relax anyone within the bound
 		}
 		ix.g.Predecessors(v, func(p graph.NodeID) bool {
-			ix.meter.AddEdges(1)
+			meter.AddEdges(1)
 			pRow := ix.kdist[p]
 			if d+1 < pRow[i].Dist && d+1 <= ix.q.Bound {
 				t.touch(p)
 				pRow[i] = Entry{Dist: d + 1, Next: v}
-				ix.meter.AddEntries(1)
+				meter.AddEntries(1)
 				q.Push(p, d+1)
 			}
 			return true
@@ -291,32 +313,57 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 		return Delta{}, err
 	}
 	ins, dels := batch.Split()
-	for i := range ix.q.Keywords {
-		// Phase (a): affected entries w.r.t. keyword i due to ΔG−, with
-		// potential values, all in one global queue q_i.
-		affected := ix.identifyAffected(i, dels)
-		q := pq.New[graph.NodeID]()
-		ix.computePotentials(i, affected, q, t)
-		// Phase (b): insertions between unaffected endpoints seed the queue
-		// instead of propagating directly, interleaving with deletions.
-		for _, u := range ins {
-			if affected[u.From] || affected[u.To] {
-				continue
-			}
-			wRow := ix.kdist[u.To]
-			vRow := ix.kdist[u.From]
-			ix.meter.AddEntries(1)
-			if wRow[i].Dist+1 < vRow[i].Dist && wRow[i].Dist+1 <= ix.q.Bound {
-				t.touch(u.From)
-				vRow[i] = Entry{Dist: wRow[i].Dist + 1, Next: u.To}
-				q.Push(u.From, vRow[i].Dist)
-			}
-		}
-		// Phase (c): settle exact values once per affected entry.
-		ix.settle(i, q, t)
-		ix.meter.AddHeapOps(q.Ops)
+	// The per-keyword repairs are independent (keyword i reads the shared
+	// graph and writes only column i of the kdist rows), so they fan out
+	// across workers. Each worker repairs with a private tracker and meter;
+	// the merged result — kdist columns, touched set, delta — is identical
+	// to the sequential loop.
+	workers := ix.g.Parallelism()
+	if workers > 1 {
+		ix.g.PrepareConcurrentReads()
+	}
+	m := len(ix.q.Keywords)
+	trackers := make([]*touchTracker, m)
+	meters := make([]cost.Meter, m)
+	graph.ParallelFor(workers, m, func(_, i int) {
+		trackers[i] = newTracker(ix)
+		ix.repairKeyword(i, ins, dels, trackers[i], &meters[i])
+	})
+	for i := 0; i < m; i++ {
+		t.merge(trackers[i])
+		ix.meter.Merge(&meters[i])
 	}
 	return t.delta(), nil
+}
+
+// repairKeyword runs the three phases of IncKWS for one keyword: affected
+// identification over ΔG−, potentials, insertion seeding over ΔG+, and the
+// shared-queue settle. It touches only column i of the kdist rows plus the
+// caller's private tracker and meter, so keywords repair concurrently.
+func (ix *Index) repairKeyword(i int, ins, dels graph.Batch, t *touchTracker, meter *cost.Meter) {
+	// Phase (a): affected entries w.r.t. keyword i due to ΔG−, with
+	// potential values, all in one global queue q_i.
+	affected := ix.identifyAffected(i, dels, meter)
+	q := pq.New[graph.NodeID]()
+	ix.computePotentials(i, affected, q, t, meter)
+	// Phase (b): insertions between unaffected endpoints seed the queue
+	// instead of propagating directly, interleaving with deletions.
+	for _, u := range ins {
+		if affected[u.From] || affected[u.To] {
+			continue
+		}
+		wRow := ix.kdist[u.To]
+		vRow := ix.kdist[u.From]
+		meter.AddEntries(1)
+		if wRow[i].Dist+1 < vRow[i].Dist && wRow[i].Dist+1 <= ix.q.Bound {
+			t.touch(u.From)
+			vRow[i] = Entry{Dist: wRow[i].Dist + 1, Next: u.To}
+			q.Push(u.From, vRow[i].Dist)
+		}
+	}
+	// Phase (c): settle exact values once per affected entry.
+	ix.settle(i, q, t, meter)
+	meter.AddHeapOps(q.Ops)
 }
 
 // ApplyUnitwise is IncKWSn: it processes the batch one unit update at a
@@ -345,7 +392,7 @@ func (ix *Index) applyInsertTracked(u graph.Update, t *touchTracker) (Delta, err
 	ix.ensureRow(u.From, t)
 	ix.ensureRow(u.To, t)
 	for i := range ix.q.Keywords {
-		ix.insertKeyword(i, u.From, u.To, t)
+		ix.insertKeyword(i, u.From, u.To, t, ix.meter)
 	}
 	// Matches are refreshed once at the end by the caller's tracker.
 	return Delta{}, nil
@@ -356,10 +403,10 @@ func (ix *Index) applyDeleteTracked(u graph.Update, t *touchTracker) (Delta, err
 		return Delta{}, err
 	}
 	for i := range ix.q.Keywords {
-		affected := ix.identifyAffected(i, []graph.Update{u})
+		affected := ix.identifyAffected(i, []graph.Update{u}, ix.meter)
 		q := pq.New[graph.NodeID]()
-		ix.computePotentials(i, affected, q, t)
-		ix.settle(i, q, t)
+		ix.computePotentials(i, affected, q, t, ix.meter)
+		ix.settle(i, q, t, ix.meter)
 		ix.meter.AddHeapOps(q.Ops)
 	}
 	return Delta{}, nil

@@ -88,6 +88,12 @@ type Index struct {
 // Build runs the batch algorithm: for each keyword a bounded multi-source
 // reverse BFS from the keyword's nodes, producing kdist(·) and Q(G).
 // The meter may be nil.
+//
+// The per-keyword BFS fan-outs are independent — keyword i only ever
+// writes column i of the kdist rows — so they run on a worker pool sized
+// by g.Parallelism(), as do the row-allocation and match-detection sweeps
+// (their map installs stay serial). The result is identical to a
+// sequential build.
 func Build(g *graph.Graph, q Query, meter *cost.Meter) (*Index, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -103,17 +109,39 @@ func Build(g *graph.Graph, q Query, meter *cost.Meter) (*Index, error) {
 	for i, kw := range q.Keywords {
 		ix.kwIDs[i] = graph.InternLabel(kw)
 	}
-	g.Nodes(func(v graph.NodeID, _ string) bool {
-		ix.kdist[v] = ix.freshEntries(v)
-		return true
-	})
-	for i := range q.Keywords {
-		ix.buildKeyword(i)
+	workers := g.Parallelism()
+	if workers > 1 {
+		g.PrepareConcurrentReads()
 	}
+	// Dense node list once; the parallel sweeps index into it.
+	nodes := make([]graph.NodeID, 0, g.NumNodes())
 	g.Nodes(func(v graph.NodeID, _ string) bool {
-		ix.refreshMatch(v)
+		nodes = append(nodes, v)
 		return true
 	})
+	rows := make([][]Entry, len(nodes))
+	graph.ParallelFor(workers, len(nodes), func(_, j int) {
+		rows[j] = ix.freshEntries(nodes[j])
+	})
+	for j, v := range nodes {
+		ix.kdist[v] = rows[j]
+	}
+	meters := make([]cost.Meter, len(q.Keywords))
+	graph.ParallelFor(workers, len(q.Keywords), func(_, i int) {
+		ix.buildKeyword(i, &meters[i])
+	})
+	for i := range meters {
+		meter.Merge(&meters[i])
+	}
+	matchRows := make([][]int, len(nodes))
+	graph.ParallelFor(workers, len(nodes), func(_, j int) {
+		matchRows[j] = ix.matchRow(nodes[j])
+	})
+	for j, v := range nodes {
+		if matchRows[j] != nil {
+			ix.matches[v] = matchRows[j]
+		}
+	}
 	return ix, nil
 }
 
@@ -133,8 +161,10 @@ func (ix *Index) freshEntries(v graph.NodeID) []Entry {
 }
 
 // buildKeyword fills kdist(·)[i] by reverse BFS from all nodes labeled the
-// keyword, bounded by q.Bound.
-func (ix *Index) buildKeyword(i int) {
+// keyword, bounded by q.Bound. It runs concurrently with other keywords:
+// the meter is the caller's private accumulator, and every write lands in
+// column i only.
+func (ix *Index) buildKeyword(i int, meter *cost.Meter) {
 	type item struct {
 		v graph.NodeID
 		d int
@@ -147,16 +177,16 @@ func (ix *Index) buildKeyword(i int) {
 	for len(queue) > 0 {
 		it := queue[0]
 		queue = queue[1:]
-		ix.meter.AddNodes(1)
+		meter.AddNodes(1)
 		if it.d == ix.q.Bound {
 			continue
 		}
 		ix.g.Predecessors(it.v, func(u graph.NodeID) bool {
-			ix.meter.AddEdges(1)
+			meter.AddEdges(1)
 			row := ix.kdist[u]
 			if it.d+1 < row[i].Dist {
 				row[i] = Entry{Dist: it.d + 1, Next: it.v}
-				ix.meter.AddEntries(1)
+				meter.AddEntries(1)
 				queue = append(queue, item{u, it.d + 1})
 			}
 			return true
@@ -164,24 +194,32 @@ func (ix *Index) buildKeyword(i int) {
 	}
 }
 
-// refreshMatch recomputes whether v is a match root, updating the match set.
-func (ix *Index) refreshMatch(v graph.NodeID) {
+// matchRow returns v's per-keyword distance vector when v is a match root,
+// nil otherwise. Read-only: safe to call concurrently between mutations.
+func (ix *Index) matchRow(v graph.NodeID) []int {
 	row, ok := ix.kdist[v]
 	if !ok {
-		delete(ix.matches, v)
-		return
+		return nil
 	}
 	for _, e := range row {
 		if e.Dist > ix.q.Bound {
-			delete(ix.matches, v)
-			return
+			return nil
 		}
 	}
 	ds := make([]int, len(row))
 	for i, e := range row {
 		ds[i] = e.Dist
 	}
-	ix.matches[v] = ds
+	return ds
+}
+
+// refreshMatch recomputes whether v is a match root, updating the match set.
+func (ix *Index) refreshMatch(v graph.NodeID) {
+	if ds := ix.matchRow(v); ds != nil {
+		ix.matches[v] = ds
+	} else {
+		delete(ix.matches, v)
+	}
 }
 
 // Graph returns the underlying graph (shared, mutated by Apply*).

@@ -82,6 +82,12 @@ type Engine struct {
 
 // NewEngine compiles the query and runs the batch algorithm RPQ_NFA.
 // The meter may be nil.
+//
+// Each source node's product BFS touches only that source's marking table,
+// so the evaluation fans out per source across g.Parallelism() workers.
+// Engine-global state — the inverted index, the match set — is updated by
+// a serial merge of per-source buffers afterwards, in source order, making
+// the built engine identical to a sequential evaluation.
 func NewEngine(g *graph.Graph, ast *rex.Ast, meter *cost.Meter) (*Engine, error) {
 	if ast == nil {
 		return nil, fmt.Errorf("rpq: nil query")
@@ -98,11 +104,22 @@ func NewEngine(g *graph.Graph, ast *rex.Ast, meter *cost.Meter) (*Engine, error)
 		srcAt:   make(map[graph.NodeID]map[graph.NodeID]int),
 		meter:   meter,
 	}
-	var d Delta
-	g.Nodes(func(u graph.NodeID, _ string) bool {
-		e.ensureSourceAndSettle(u, &d)
-		return true
+	workers := g.Parallelism()
+	if workers > 1 {
+		g.PrepareConcurrentReads()
+	}
+	sources := g.NodesSorted()
+	reps := make([]*srcRepair, len(sources))
+	meters := make([]cost.Meter, workers)
+	graph.ParallelFor(workers, len(sources), func(worker, i int) {
+		reps[i] = e.buildSource(sources[i], &meters[worker])
 	})
+	for _, r := range reps {
+		e.mergeRepair(r, nil)
+	}
+	for i := range meters {
+		meter.Merge(&meters[i])
+	}
 	return e, nil
 }
 
@@ -115,90 +132,128 @@ func Parse(g *graph.Graph, query string, meter *cost.Meter) (*Engine, error) {
 	return NewEngine(g, ast, meter)
 }
 
-// ensureSourceAndSettle creates the seed entries of source u (when u can
-// start a word of L(Q)) and runs the product BFS/settle from them. It is
-// used both by the batch build and for nodes introduced by insertions.
-func (e *Engine) ensureSourceAndSettle(u graph.NodeID, d *Delta) {
-	q := e.seedSource(u, d)
-	if q != nil {
-		e.settle(u, q, d)
-		e.meter.AddHeapOps(q.Ops)
-	}
+// srcRepair is the worker-local context of one source's batch build or
+// incremental repair. All mutations land in the source's own marking table
+// (sm), the worker's private meter, a local Delta, and an event log of
+// entry creations/removals; engine-global state (marks, srcAt, matches) is
+// untouched until the serial mergeRepair, so any number of srcRepairs can
+// run concurrently against the read-shared graph.
+type srcRepair struct {
+	e     *Engine
+	src   graph.NodeID
+	sm    *sourceMark
+	meter *cost.Meter
+	// d accumulates this source's match transitions (net of transients).
+	d Delta
+	// events defers the inverted-index updates of noteCreated/noteRemoved.
+	events []entryEvent
 }
 
-// seedSource installs the seed entries of u and returns a queue containing
-// them, or nil when u is not a source. Calling it again is a no-op.
-func (e *Engine) seedSource(u graph.NodeID, d *Delta) *pq.Heap[key] {
-	if _, done := e.marks[u]; done {
-		return nil
-	}
+// entryEvent records one entry creation or removal for deferred replay
+// into the engine's inverted index.
+type entryEvent struct {
+	k       key
+	created bool
+}
+
+// buildSource computes the marking table of source u from scratch: seed
+// entries for the states δ(s0, l(u)), then the product BFS/settle. It
+// returns nil when u is not a source. Used by the batch build and for
+// nodes introduced by insertions; the caller must mergeRepair the result.
+func (e *Engine) buildSource(u graph.NodeID, meter *cost.Meter) *srcRepair {
 	starts := e.nfa.NextID(e.nfa.Start(), e.g.LabelIDAt(u))
 	if len(starts) == 0 {
 		return nil
 	}
-	sm := &sourceMark{table: make(map[key]*entry), acc: make(map[graph.NodeID]int)}
-	e.marks[u] = sm
+	r := &srcRepair{
+		e:     e,
+		src:   u,
+		sm:    &sourceMark{table: make(map[key]*entry), acc: make(map[graph.NodeID]int)},
+		meter: meter,
+	}
 	q := pq.New[key]()
 	for _, s := range starts {
 		k := key{u, s}
-		sm.table[k] = &entry{
+		r.sm.table[k] = &entry{
 			dist: 0,
 			seed: true,
 			cpre: make(map[key]struct{}),
 			mpre: make(map[key]struct{}),
 		}
-		e.meter.AddEntries(1)
-		e.noteEntryCreated(u, k, d)
+		meter.AddEntries(1)
+		r.noteCreated(k)
 		q.Push(k, 0)
 	}
-	return q
+	r.settle(q)
+	meter.AddHeapOps(q.Ops)
+	return r
 }
 
-// noteEntryCreated maintains the inverted index, the acc counts and the
-// match set when an entry appears.
-func (e *Engine) noteEntryCreated(u graph.NodeID, k key, d *Delta) {
-	at := e.srcAt[k.v]
-	if at == nil {
-		at = make(map[graph.NodeID]int)
-		e.srcAt[k.v] = at
-	}
-	at[u]++
-	if !e.nfa.Accepting(k.s) {
+// noteCreated maintains the source-local acc counts and match transitions
+// when an entry appears, and defers the inverted-index update.
+func (r *srcRepair) noteCreated(k key) {
+	r.events = append(r.events, entryEvent{k, true})
+	if !r.e.nfa.Accepting(k.s) {
 		return
 	}
-	sm := e.marks[u]
-	sm.acc[k.v]++
-	if sm.acc[k.v] == 1 {
-		p := Pair{u, k.v}
-		e.matches[p] = struct{}{}
-		if d != nil {
-			d.note(p, true)
-		}
+	r.sm.acc[k.v]++
+	if r.sm.acc[k.v] == 1 {
+		r.d.note(Pair{r.src, k.v}, true)
 	}
 }
 
-// noteEntryRemoved is the inverse of noteEntryCreated.
-func (e *Engine) noteEntryRemoved(u graph.NodeID, k key, d *Delta) {
-	if at := e.srcAt[k.v]; at != nil {
-		at[u]--
-		if at[u] == 0 {
-			delete(at, u)
-			if len(at) == 0 {
-				delete(e.srcAt, k.v)
+// noteRemoved is the inverse of noteCreated.
+func (r *srcRepair) noteRemoved(k key) {
+	r.events = append(r.events, entryEvent{k, false})
+	if !r.e.nfa.Accepting(k.s) {
+		return
+	}
+	r.sm.acc[k.v]--
+	if r.sm.acc[k.v] == 0 {
+		delete(r.sm.acc, k.v)
+		r.d.note(Pair{r.src, k.v}, false)
+	}
+}
+
+// mergeRepair folds a worker's deferred global effects into the engine:
+// the source table (when newly built), the inverted-index events, and the
+// net match transitions (also noted on d when non-nil). Merging is serial
+// and, because distinct sources produce disjoint pairs and commutative
+// index increments, order-independent — the merged engine matches a
+// sequential run exactly.
+func (e *Engine) mergeRepair(r *srcRepair, d *Delta) {
+	if r == nil {
+		return
+	}
+	if _, ok := e.marks[r.src]; !ok {
+		e.marks[r.src] = r.sm
+	}
+	for _, ev := range r.events {
+		if ev.created {
+			at := e.srcAt[ev.k.v]
+			if at == nil {
+				at = make(map[graph.NodeID]int)
+				e.srcAt[ev.k.v] = at
+			}
+			at[r.src]++
+		} else if at := e.srcAt[ev.k.v]; at != nil {
+			at[r.src]--
+			if at[r.src] == 0 {
+				delete(at, r.src)
+				if len(at) == 0 {
+					delete(e.srcAt, ev.k.v)
+				}
 			}
 		}
 	}
-	if !e.nfa.Accepting(k.s) {
-		return
-	}
-	sm := e.marks[u]
-	sm.acc[k.v]--
-	if sm.acc[k.v] == 0 {
-		delete(sm.acc, k.v)
-		p := Pair{u, k.v}
-		delete(e.matches, p)
+	for p, added := range r.d.pending {
+		if added {
+			e.matches[p] = struct{}{}
+		} else {
+			delete(e.matches, p)
+		}
 		if d != nil {
-			d.note(p, false)
+			d.note(p, added)
 		}
 	}
 }
@@ -207,11 +262,11 @@ func (e *Engine) noteEntryRemoved(u graph.NodeID, k key, d *Delta) {
 // nondecreasing distance order and relaxes their product successors,
 // creating entries on first reach (Fig. 5 line 9). With all-zero seeds this
 // is exactly the batch BFS of RPQ_NFA.
-func (e *Engine) settle(u graph.NodeID, q *pq.Heap[key], d *Delta) {
-	sm := e.marks[u]
+func (r *srcRepair) settle(q *pq.Heap[key]) {
+	e, sm := r.e, r.sm
 	for q.Len() > 0 {
 		k, dist, _ := q.Pop()
-		e.meter.AddNodes(1)
+		r.meter.AddNodes(1)
 		ent := sm.table[k]
 		if ent == nil || ent.dist != dist {
 			continue // superseded
@@ -220,13 +275,13 @@ func (e *Engine) settle(u graph.NodeID, q *pq.Heap[key], d *Delta) {
 		// dist is final: mpre can be decided exactly, once, right here.
 		ent.mpre = make(map[key]struct{}, len(ent.cpre))
 		for p := range ent.cpre {
-			e.meter.AddEdges(1)
+			r.meter.AddEdges(1)
 			if pe := sm.table[p]; pe != nil && pe.dist+1 == dist {
 				ent.mpre[p] = struct{}{}
 			}
 		}
 		e.g.Successors(k.v, func(y graph.NodeID) bool {
-			e.meter.AddEdges(1)
+			r.meter.AddEdges(1)
 			for _, sy := range e.nfa.NextID(k.s, e.g.LabelIDAt(y)) {
 				ky := key{y, sy}
 				ey := sm.table[ky]
@@ -239,14 +294,14 @@ func (e *Engine) settle(u graph.NodeID, q *pq.Heap[key], d *Delta) {
 						mpre: map[key]struct{}{k: {}},
 					}
 					sm.table[ky] = ey
-					e.meter.AddEntries(1)
-					e.noteEntryCreated(u, ky, d)
+					r.meter.AddEntries(1)
+					r.noteCreated(ky)
 					q.Push(ky, cand)
 				case cand < ey.dist:
 					ey.dist = cand
 					ey.cpre[k] = struct{}{}
 					ey.mpre = map[key]struct{}{k: {}}
-					e.meter.AddEntries(1)
+					r.meter.AddEntries(1)
 					q.Push(ky, cand)
 				case cand == ey.dist:
 					ey.cpre[k] = struct{}{}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"incgraph/internal/cost"
 	"incgraph/internal/graph"
 	"incgraph/internal/pq"
 )
@@ -115,13 +116,41 @@ func (e *Engine) Apply(batch graph.Batch) (Delta, error) {
 	for src := range relIns {
 		touched[src] = true
 	}
+	// Each affected source's repair touches only its own marking table, so
+	// the repairs fan out across workers against the read-shared graph —
+	// as do the full product BFS builds of brand-new sources (their
+	// markings are part of AFF — data newly inspected). Global effects are
+	// buffered per source and merged serially below; the merged engine and
+	// the sorted delta are identical to the sequential loop.
+	srcs := make([]graph.NodeID, 0, len(touched))
 	for src := range touched {
-		e.repairSource(src, relIns[src], relDels[src], &d)
+		srcs = append(srcs, src)
 	}
-	// Brand-new nodes may open brand-new sources: full product BFS for
-	// them (their markings are part of AFF — data newly inspected).
-	for _, v := range newNodes {
-		e.ensureSourceAndSettle(v, &d)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	workers := e.g.Parallelism()
+	if workers > 1 {
+		e.g.PrepareConcurrentReads()
+	}
+	reps := make([]*srcRepair, len(srcs)+len(newNodes))
+	meters := make([]cost.Meter, workers)
+	graph.ParallelFor(workers, len(reps), func(worker, i int) {
+		if i < len(srcs) {
+			src := srcs[i]
+			r := &srcRepair{e: e, src: src, sm: e.marks[src], meter: &meters[worker]}
+			r.repair(relIns[src], relDels[src])
+			reps[i] = r
+			return
+		}
+		// A brand-new node cannot already be a touched source (it had no
+		// entries when the updates were routed), so the two task kinds are
+		// disjoint.
+		reps[i] = e.buildSource(newNodes[i-len(srcs)], &meters[worker])
+	})
+	for _, r := range reps {
+		e.mergeRepair(r, &d)
+	}
+	for i := range meters {
+		e.meter.Merge(&meters[i])
 	}
 	d.finish()
 	return d, nil
@@ -163,19 +192,21 @@ func (e *Engine) ApplyDelete(u graph.Update) (Delta, error) {
 	return e.Apply(graph.Batch{u})
 }
 
-// repairSource fixes the marking table of source src after the updates:
+// repair fixes the marking table of source r.src after the updates:
 // identAff (Fig. 5 line 1), potentials (lines 2–4), insertion seeding
-// (lines 5–8), settle (line 9) and removal of unreachable entries.
-func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta) {
-	sm := e.marks[src]
-	affected := e.identAff(sm, dels)
+// (lines 5–8), settle (line 9) and removal of unreachable entries. It
+// runs concurrently with other sources' repairs: everything it writes is
+// source-local or buffered on r (see srcRepair).
+func (r *srcRepair) repair(ins, dels graph.Batch) {
+	e, sm := r.e, r.sm
+	affected := r.identAff(dels)
 	q := pq.New[key]()
 	// Potentials from unaffected cpre members (Fig. 5 lines 2–4).
 	for k := range affected {
 		ent := sm.table[k]
 		best := Unreachable
 		for p := range ent.cpre {
-			e.meter.AddEdges(1)
+			r.meter.AddEdges(1)
 			if affected[p] {
 				continue
 			}
@@ -185,7 +216,7 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 		}
 		ent.dist = best
 		ent.mpre = make(map[key]struct{})
-		e.meter.AddEntries(1)
+		r.meter.AddEntries(1)
 		if best < Unreachable {
 			q.Push(k, best)
 		}
@@ -223,14 +254,14 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 						mpre: map[key]struct{}{kv: {}},
 					}
 					sm.table[kw] = ew
-					e.meter.AddEntries(1)
-					e.noteEntryCreated(src, kw, d)
+					r.meter.AddEntries(1)
+					r.noteCreated(kw)
 					q.Push(kw, cand)
 				case cand < ew.dist:
 					ew.dist = cand
 					ew.cpre[kv] = struct{}{}
 					ew.mpre = map[key]struct{}{kv: {}}
-					e.meter.AddEntries(1)
+					r.meter.AddEntries(1)
 					q.Push(kw, cand)
 				case cand == ew.dist:
 					ew.cpre[kv] = struct{}{}
@@ -242,8 +273,8 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 		}
 	}
 	// Settle exact values (line 9).
-	e.settle(src, q, d)
-	e.meter.AddHeapOps(q.Ops)
+	r.settle(q)
+	r.meter.AddHeapOps(q.Ops)
 	// Entries that stayed unreachable disappear, together with their
 	// structural links in successors.
 	for k := range affected {
@@ -252,8 +283,8 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 			continue
 		}
 		delete(sm.table, k)
-		e.noteEntryRemoved(src, k, d)
-		e.meter.AddEntries(1)
+		r.noteRemoved(k)
+		r.meter.AddEntries(1)
 		e.g.Successors(k.v, func(y graph.NodeID) bool {
 			for _, sy := range e.nfa.NextID(k.s, e.g.LabelIDAt(y)) {
 				if ey := sm.table[key{y, sy}]; ey != nil {
@@ -269,7 +300,8 @@ func (e *Engine) repairSource(src graph.NodeID, ins, dels graph.Batch, d *Delta)
 // identAff implements Fig. 5 line 1: remove the structural links broken by
 // the deletions and mark every entry whose mpre support drains away,
 // propagating through mpre members transitively.
-func (e *Engine) identAff(sm *sourceMark, dels graph.Batch) map[key]bool {
+func (r *srcRepair) identAff(dels graph.Batch) map[key]bool {
+	e, sm := r.e, r.sm
 	affected := make(map[key]bool)
 	var stack []key
 	markAffected := func(k key) {
@@ -304,11 +336,11 @@ func (e *Engine) identAff(sm *sourceMark, dels graph.Batch) map[key]bool {
 	for len(stack) > 0 {
 		k := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		e.meter.AddNodes(1)
+		r.meter.AddNodes(1)
 		// Successors that relied on k for their shortest paths lose that
 		// support.
 		e.g.Successors(k.v, func(y graph.NodeID) bool {
-			e.meter.AddEdges(1)
+			r.meter.AddEdges(1)
 			for _, sy := range e.nfa.NextID(k.s, e.g.LabelIDAt(y)) {
 				ky := key{y, sy}
 				ey := sm.table[ky]

@@ -6,6 +6,18 @@ import "fmt"
 // query classes: apply a batch ΔG, learn how the answer moved. It lets
 // callers drive heterogeneous standing queries uniformly (see
 // examples/social_stream for the long-hand version).
+//
+// Concurrency: Apply requires exclusive access to the value and its graph
+// (graph mutation is exclusive), but internally parallelizes its repair
+// work across the graph's Parallelism() workers after the serial mutation
+// step; deltas are merged deterministically, so results are identical at
+// any worker count. Between Apply calls the KWS, RPQ and ISO engines with
+// Parallelism() > 1 leave the graph read-shareable, so their read-only
+// methods (Size, Class, Graph and the concrete types' accessors) may be
+// called from multiple goroutines. At Parallelism() == 1 — and for SCC,
+// which repairs sequentially — the engines skip that housekeeping: call
+// Graph().PrepareConcurrentReads() before sharing reads across
+// goroutines.
 type Maintained interface {
 	// Apply applies ΔG to the underlying graph and repairs the answer,
 	// returning a summary of ΔO. Class-specific deltas remain available on
