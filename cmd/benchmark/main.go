@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-workers 0] [-json]
+//	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-workers 0] [-shards 0] [-json]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	points := flag.Int("points", 0, "truncate each sweep to N points (0 = full sweep)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential baseline)")
+	shards := flag.Int("shards", 0, "graph shard count, rounded to a power of two (0 = default, 1 = unsharded baseline)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment (id, points, ns/op) instead of tables")
 	flag.Parse()
@@ -29,7 +30,7 @@ func main() {
 		fmt.Println(strings.Join(bench.Figures(), "\n"))
 		return
 	}
-	cfg := bench.Config{Scale: *scale, Seed: *seed, MaxPoints: *points, Workers: *workers}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, MaxPoints: *points, Workers: *workers, Shards: *shards}
 	ids := bench.Figures()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")

@@ -27,6 +27,23 @@
 //     integer IDs instead of strings. Invariant: relabeling a node
 //     (AddNode on an existing ID) updates the inverted index atomically
 //     with the label.
+//   - The node space is sharded: nodes hash into a power-of-two number of
+//     partitions (Graph.SetShards, default sized to the core count), each
+//     owning its slice of the node table, its dense-slot allocator, and
+//     the adjacency of its nodes, with cross-shard edges recorded on both
+//     endpoint shards. Large batches then apply shard-parallel inside
+//     ApplyBatch: phase 1 hands each shard's owned effects to a worker,
+//     phase 2 merges label-index and edge-count deltas serially in shard
+//     order, so the result is byte-identical to a serial application.
+//     Per-shard iteration hooks (ShardNodes, ShardNodesSorted,
+//     NodesSortedParallel, Batch.TouchedShards) let the engines collect
+//     and partition work along the same boundaries.
+//   - Answers that are expensive to materialize but stable between
+//     updates — Graph.EdgesSorted, KWSIndex.MatchRoots,
+//     RPQEngine.Matches, ISOIndex.Matches — are memoized against the
+//     graph's mutation generation (Graph.Generation): repeated reads
+//     between updates are O(1), and any mutation implicitly invalidates
+//     them. The returned slices are shared; treat them as read-only.
 //   - Adjacency is hybrid: sorted []NodeID slices for low-degree nodes,
 //     promoted to hash sets past a degree threshold (with hysteresis on
 //     the way back down). Iteration is a cache-friendly linear scan and
@@ -53,10 +70,19 @@
 // On top of that split, the batch builds fan out — NewKWS per keyword,
 // NewRPQ per source node, NewISO/FindMatches over partitioned VF2 candidate
 // seeds — and the incremental Apply methods of KWS, RPQ and ISO apply ΔG
-// serially, then partition their repair work (affected keywords, affected
-// sources, anchored insertions) across a worker pool. Per-worker results
-// merge deterministically, so answers and deltas are byte-identical to a
-// sequential run.
+// through the shard-parallel ApplyBatch, then partition their repair work
+// (affected keywords, affected sources, anchored insertions) across a
+// worker pool. Per-worker results merge deterministically, so answers and
+// deltas are byte-identical to a sequential run at any worker or shard
+// count.
+//
+// KWS and ISO additionally route each batch through a cost model
+// (internal/cost): when the predicted affected area makes the incremental
+// repair costlier than the batch algorithm — the regime past the paper's
+// incremental/batch crossover — Apply falls back to applying ΔG and
+// recomputing from scratch, diffing the match sets for the exact same
+// Delta. The decision is a pure function of graph and batch statistics,
+// never of worker or shard count.
 //
 // Graph.SetParallelism(n) bounds the worker pool; the default is
 // runtime.GOMAXPROCS(0), and n = 1 forces fully sequential execution.

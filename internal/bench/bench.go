@@ -34,6 +34,8 @@ type Result struct {
 	Series []Series
 	// Workers is the effective engine worker count the run measured.
 	Workers int
+	// Shards is the effective graph shard count the run measured.
+	Shards int
 	// Notes carries derived observations (speedups, crossovers).
 	Notes []string
 }
@@ -50,6 +52,11 @@ type Config struct {
 	// Workers bounds the engines' worker pools (Graph.SetParallelism).
 	// 0 means runtime.GOMAXPROCS(0); 1 measures the sequential baseline.
 	Workers int
+	// Shards sets the graph shard count (Graph.SetShards): how many
+	// partitions ΔG application fans out over. 0 means the default
+	// (smallest power of two ≥ GOMAXPROCS); 1 measures the unsharded
+	// baseline.
+	Shards int
 }
 
 func (c Config) scale() float64 {
@@ -64,6 +71,7 @@ func (c Config) scale() float64 {
 // base graph tunes every engine measured against it.
 func (c Config) tune(g *graph.Graph) *graph.Graph {
 	g.SetParallelism(c.Workers)
+	g.SetShards(c.Shards)
 	return g
 }
 
@@ -74,6 +82,9 @@ func (c Config) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// shards reports the effective shard count, for result labeling.
+func (c Config) shards() int { return graph.EffectiveShards(c.Shards) }
 
 // clip truncates a sweep to cfg.MaxPoints.
 func clip[T any](cfg Config, xs []T) []T {
@@ -194,6 +205,7 @@ type jsonResult struct {
 	Title   string       `json:"title"`
 	XLabel  string       `json:"xlabel"`
 	Workers int          `json:"workers,omitempty"`
+	Shards  int          `json:"shards,omitempty"`
 	Points  []string     `json:"points"`
 	Series  []jsonSeries `json:"series"`
 	Notes   []string     `json:"notes,omitempty"`
@@ -208,6 +220,7 @@ func (r *Result) FormatJSON(w io.Writer) error {
 		Title:   r.Title,
 		XLabel:  r.XLabel,
 		Workers: r.Workers,
+		Shards:  r.Shards,
 		Points:  r.X,
 		Series:  make([]jsonSeries, len(r.Series)),
 		Notes:   r.Notes,
@@ -268,6 +281,7 @@ func Run(id string, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.Workers = cfg.workers()
+	res.Shards = cfg.shards()
 	return res, nil
 }
 

@@ -183,7 +183,9 @@ func Updates(g *graph.Graph, spec UpdateSpec) graph.Batch {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	sim := g.Clone()
 	nodes := sim.NodesSorted()
-	edges := sim.EdgesSorted()
+	// EdgesSorted hands out the graph-owned memoized slice; copy it, since
+	// the pool below is mutated in place (swap-deletes).
+	edges := append([]graph.Edge(nil), sim.EdgesSorted()...)
 	batch := make(graph.Batch, 0, spec.Count)
 	for len(batch) < spec.Count {
 		if rng.Float64() < spec.InsertRatio || len(edges) == 0 {

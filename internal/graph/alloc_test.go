@@ -85,6 +85,31 @@ func TestReachesAllocFree(t *testing.T) {
 	}
 }
 
+// TestTraversalAllocFreeSharded re-pins the allocation-free warm path on a
+// multi-shard graph: the sharded record lookup and interleaved slot space
+// must not reintroduce per-call allocations in any kernel.
+func TestTraversalAllocFreeSharded(t *testing.T) {
+	g := warmGraph(t, 500)
+	g.SetShards(4)
+	sources := []NodeID{0}
+	seeds := []NodeID{3, 77}
+	kernels := []struct {
+		name string
+		run  func()
+	}{
+		{"BFSFrom", func() { g.BFSFrom(sources, func(NodeID, int) bool { return true }) }},
+		{"ReverseBFSFrom", func() { g.ReverseBFSFrom([]NodeID{499}, func(NodeID, int) bool { return true }) }},
+		{"ForEachWithin", func() { g.ForEachWithin(seeds, 3, func(NodeID, int) bool { return true }) }},
+		{"Reaches", func() { g.Reaches(0, 499) }},
+	}
+	for _, k := range kernels {
+		k.run() // warm the scratch buffers at the resharded slot ceiling
+		if allocs := testing.AllocsPerRun(20, k.run); allocs != 0 {
+			t.Errorf("%s on a warm 4-shard graph: %.1f allocs/op, want 0", k.name, allocs)
+		}
+	}
+}
+
 func TestSuccessorsSortedAllocFree(t *testing.T) {
 	// Low-degree node: slice mode, the sorted adjacency IS the storage.
 	g := warmGraph(t, 500)

@@ -7,7 +7,7 @@
 // l(v) on every node. Edges are unlabeled; all query semantics (RPQ strings,
 // KWS keywords, ISO label equality) read node labels.
 //
-// The representation is performance-oriented; three design decisions carry
+// The representation is performance-oriented; four design decisions carry
 // it (see also doc.go at the module root):
 //
 //   - Interned labels. Label strings are interned process-wide into dense
@@ -18,21 +18,35 @@
 //     that changes l(v) — AddNode relabels, DeleteNode — must update the
 //     inverted index in the same step.
 //
+//   - Sharded node space. Nodes hash into a power-of-two number of shards
+//     (shard.go), each owning its slice of the node table, its dense-slot
+//     allocator, and the adjacency of its nodes; cross-shard edges are
+//     recorded on both endpoint shards. ApplyBatch partitions a validated
+//     batch by owning shard and applies it with a two-phase protocol —
+//     parallel per-shard application, then a deterministic serial merge of
+//     label-index/edge-count deltas in shard order — so ΔG itself scales
+//     across cores while producing the same graph as a serial application
+//     (and byte-identical query answers).
+//
 //   - Hybrid adjacency. Out- and in-adjacency are sorted []NodeID slices
 //     for low-degree nodes, promoted to hash sets past a degree threshold
 //     (adjset.go). Unit updates stay O(degree) ≈ O(1), iteration is a
 //     cache-friendly linear scan, and SuccessorsSorted is allocation-free.
 //
 //   - Dense slots + scratch. Each node gets a dense slot index at
-//     insertion; the traversal kernels in traverse.go use an epoch-stamped
-//     visited array over slots plus pooled queues (scratch.go) instead of
-//     allocating map[NodeID]bool per call.
+//     insertion (interleaved across shards); the traversal kernels in
+//     traverse.go use an epoch-stamped visited array over slots plus
+//     pooled queues (scratch.go) instead of allocating map[NodeID]bool
+//     per call.
 //
 // Concurrency contract (parallel.go): mutations require exclusive access,
 // but between mutations any number of goroutines may read and traverse the
 // graph concurrently — call PrepareConcurrentReads after the last mutation
-// to flush the lazily rebuilt sorted-adjacency caches first. The parallel
-// engines in kws, rpq and iso are built on exactly this split.
+// to flush the lazily rebuilt sorted-adjacency caches first. Inside one
+// ApplyBatch the shards of a large batch are mutated in parallel under the
+// two-phase protocol of shard.go; that parallelism is internal to the
+// mutation and invisible to readers, who still see mutations as exclusive.
+// The parallel engines in kws, rpq and iso are built on exactly this split.
 package graph
 
 import (
@@ -61,16 +75,22 @@ type node struct {
 // Graph is a directed graph with string-labeled nodes.
 // The zero value is not usable; call New.
 type Graph struct {
-	nodes map[NodeID]*node
-	// slotCap is the number of dense slot indices ever issued; slots of
-	// deleted nodes are recycled via free. The traversal scratch sizes its
-	// visited array to slotCap.
-	slotCap int32
-	free    []int32
+	// shards partition the node space by a hash of the NodeID (shard.go);
+	// the count is a power of two, fixed between SetShards calls.
+	shards []shard
+	// shardShift maps the node hash to a shard index (64 - log2(len(shards))).
+	shardShift uint
+	// slotCeil is the exclusive upper bound of global dense slot indices;
+	// the traversal scratch sizes its visited array to it.
+	slotCeil int32
 	// byLabel is the inverted label index: every node appears in the set
-	// of its current label, and nowhere else.
+	// of its current label, and nowhere else. Graph-global; the parallel
+	// batch path defers its updates to the serial merge phase.
 	byLabel map[LabelID]*adjSet
 	edges   int
+	// gen counts mutations; generation-stamped answer caches (GenCache)
+	// compare against it to reuse derived results between updates.
+	gen uint64
 	// primaryScratch and scratchPool form the worker-keyed traversal
 	// scratch pool (scratch.go); concurrent and nested traversals each
 	// check out their own buffer.
@@ -81,32 +101,56 @@ type Graph struct {
 	dirtySorted []*adjSet
 	// workers is the SetParallelism budget; 0 means runtime.GOMAXPROCS(0).
 	workers int
+	// edgesSorted memoizes EdgesSorted between mutations.
+	edgesSorted GenCache[[]Edge]
 }
 
-// New returns an empty graph.
-func New() *Graph {
-	return &Graph{
-		nodes:   make(map[NodeID]*node),
-		byLabel: make(map[LabelID]*adjSet),
+// New returns an empty graph with the default shard count (the smallest
+// power of two covering runtime.GOMAXPROCS(0)).
+func New() *Graph { return NewSharded(0) }
+
+// NewSharded returns an empty graph partitioned into n shards (rounded up
+// to a power of two and clamped to [1, MaxShards]; n <= 0 selects the
+// default, matching Parallelism()).
+func NewSharded(n int) *Graph {
+	p := normalizeShards(n)
+	g := &Graph{
+		shards:     make([]shard, p),
+		shardShift: shardShiftFor(p),
+		byLabel:    make(map[LabelID]*adjSet),
 	}
+	for i := range g.shards {
+		g.shards[i].nodes = make(map[NodeID]*node)
+	}
+	return g
 }
+
+// Generation returns the mutation generation: it changes whenever the
+// graph changes (nodes, labels, edges, or a reshard). Derived-answer
+// caches stamp their results with it; see GenCache.
+func (g *Graph) Generation() uint64 { return g.gen }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int {
+	n := 0
+	for i := range g.shards {
+		n += len(g.shards[i].nodes)
+	}
+	return n
+}
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.edges }
 
 // HasNode reports whether v exists.
 func (g *Graph) HasNode(v NodeID) bool {
-	_, ok := g.nodes[v]
-	return ok
+	return g.rec(v) != nil
 }
 
 // Label returns the label of v, or "" if v does not exist.
 func (g *Graph) Label(v NodeID) string {
-	rec, ok := g.nodes[v]
-	if !ok {
+	rec := g.rec(v)
+	if rec == nil {
 		return ""
 	}
 	return LabelOf(rec.label)
@@ -116,8 +160,8 @@ func (g *Graph) Label(v NodeID) string {
 // exist. Hot loops compare the result against interned query labels
 // instead of strings.
 func (g *Graph) LabelIDAt(v NodeID) LabelID {
-	rec, ok := g.nodes[v]
-	if !ok {
+	rec := g.rec(v)
+	if rec == nil {
 		return NoLabel
 	}
 	return rec.label
@@ -153,24 +197,22 @@ func (g *Graph) AddNode(v NodeID, label string) {
 
 // addNodeID is AddNode for an already-interned label.
 func (g *Graph) addNodeID(v NodeID, lid LabelID) {
-	if rec, ok := g.nodes[v]; ok {
+	si := g.shardIdxOf(v)
+	sh := &g.shards[si]
+	if rec, ok := sh.nodes[v]; ok {
 		if rec.label != lid {
 			g.labelIndexRemove(rec.label, v)
 			rec.label = lid
 			g.labelIndexAdd(lid, v)
+			g.gen++
 		}
 		return
 	}
-	var slot int32
-	if n := len(g.free); n > 0 {
-		slot = g.free[n-1]
-		g.free = g.free[:n-1]
-	} else {
-		slot = g.slotCap
-		g.slotCap++
-	}
-	g.nodes[v] = &node{label: lid, slot: slot}
+	slot := sh.allocSlot(int32(len(g.shards)), int32(si))
+	g.bumpSlotCeil(slot)
+	sh.nodes[v] = &node{label: lid, slot: slot}
 	g.labelIndexAdd(lid, v)
+	g.gen++
 }
 
 // EnsureNode inserts v with label only if v does not already exist, and
@@ -185,19 +227,19 @@ func (g *Graph) EnsureNode(v NodeID, label string) bool {
 
 // HasEdge reports whether edge (v, w) exists.
 func (g *Graph) HasEdge(v, w NodeID) bool {
-	rec, ok := g.nodes[v]
-	return ok && rec.out.has(w)
+	rec := g.rec(v)
+	return rec != nil && rec.out.has(w)
 }
 
 // AddEdge inserts edge (v, w). Both endpoints must exist. It reports whether
 // the edge was new.
 func (g *Graph) AddEdge(v, w NodeID) bool {
-	rv, ok := g.nodes[v]
-	if !ok {
+	rv := g.rec(v)
+	if rv == nil {
 		panic(fmt.Sprintf("graph: AddEdge(%d,%d): endpoint missing", v, w))
 	}
-	rw, ok := g.nodes[w]
-	if !ok {
+	rw := g.rec(w)
+	if rw == nil {
 		panic(fmt.Sprintf("graph: AddEdge(%d,%d): endpoint missing", v, w))
 	}
 	if !rv.out.add(w) {
@@ -207,33 +249,37 @@ func (g *Graph) AddEdge(v, w NodeID) bool {
 	g.noteDirty(&rv.out)
 	g.noteDirty(&rw.in)
 	g.edges++
+	g.gen++
 	return true
 }
 
 // DeleteEdge removes edge (v, w) and reports whether it existed.
 // Endpoint nodes are retained even if they become isolated.
 func (g *Graph) DeleteEdge(v, w NodeID) bool {
-	rv, ok := g.nodes[v]
-	if !ok || !rv.out.remove(w) {
+	rv := g.rec(v)
+	if rv == nil || !rv.out.remove(w) {
 		return false
 	}
-	rw := g.nodes[w]
+	rw := g.rec(w)
 	rw.in.remove(v)
 	g.noteDirty(&rv.out)
 	g.noteDirty(&rw.in)
 	g.edges--
+	g.gen++
 	return true
 }
 
 // DeleteNode removes node v together with all incident edges, and reports
 // whether it existed.
 func (g *Graph) DeleteNode(v NodeID) bool {
-	rec, ok := g.nodes[v]
+	si := g.shardIdxOf(v)
+	sh := &g.shards[si]
+	rec, ok := sh.nodes[v]
 	if !ok {
 		return false
 	}
 	rec.out.forEach(func(w NodeID) bool {
-		set := &g.nodes[w].in
+		set := &g.rec(w).in
 		set.remove(v)
 		g.noteDirty(set)
 		g.edges--
@@ -244,22 +290,23 @@ func (g *Graph) DeleteNode(v NodeID) bool {
 		if u == v {
 			return true
 		}
-		set := &g.nodes[u].out
+		set := &g.rec(u).out
 		set.remove(v)
 		g.noteDirty(set)
 		g.edges--
 		return true
 	})
 	g.labelIndexRemove(rec.label, v)
-	g.free = append(g.free, rec.slot)
-	delete(g.nodes, v)
+	sh.recycleSlot(rec.slot, int32(len(g.shards)))
+	delete(sh.nodes, v)
+	g.gen++
 	return true
 }
 
 // OutDegree returns the number of successors of v.
 func (g *Graph) OutDegree(v NodeID) int {
-	rec, ok := g.nodes[v]
-	if !ok {
+	rec := g.rec(v)
+	if rec == nil {
 		return 0
 	}
 	return rec.out.len()
@@ -267,8 +314,8 @@ func (g *Graph) OutDegree(v NodeID) int {
 
 // InDegree returns the number of predecessors of v.
 func (g *Graph) InDegree(v NodeID) int {
-	rec, ok := g.nodes[v]
-	if !ok {
+	rec := g.rec(v)
+	if rec == nil {
 		return 0
 	}
 	return rec.in.len()
@@ -277,7 +324,7 @@ func (g *Graph) InDegree(v NodeID) int {
 // Successors calls fn for every successor of v until fn returns false.
 // Iteration order is unspecified.
 func (g *Graph) Successors(v NodeID, fn func(w NodeID) bool) {
-	if rec, ok := g.nodes[v]; ok {
+	if rec := g.rec(v); rec != nil {
 		rec.out.forEach(fn)
 	}
 }
@@ -285,7 +332,7 @@ func (g *Graph) Successors(v NodeID, fn func(w NodeID) bool) {
 // Predecessors calls fn for every predecessor of v until fn returns false.
 // Iteration order is unspecified.
 func (g *Graph) Predecessors(v NodeID, fn func(u NodeID) bool) {
-	if rec, ok := g.nodes[v]; ok {
+	if rec := g.rec(v); rec != nil {
 		rec.in.forEach(fn)
 	}
 }
@@ -295,8 +342,8 @@ func (g *Graph) Predecessors(v NodeID, fn func(u NodeID) bool) {
 // The returned slice is owned by the graph: callers must not mutate it, and
 // it is valid only until the next mutation of v's adjacency.
 func (g *Graph) SuccessorsSorted(v NodeID) []NodeID {
-	rec, ok := g.nodes[v]
-	if !ok {
+	rec := g.rec(v)
+	if rec == nil {
 		return nil
 	}
 	return rec.out.sorted()
@@ -305,8 +352,8 @@ func (g *Graph) SuccessorsSorted(v NodeID) []NodeID {
 // PredecessorsSorted returns the predecessors of v in ascending NodeID
 // order, under the same ownership contract as SuccessorsSorted.
 func (g *Graph) PredecessorsSorted(v NodeID) []NodeID {
-	rec, ok := g.nodes[v]
-	if !ok {
+	rec := g.rec(v)
+	if rec == nil {
 		return nil
 	}
 	return rec.in.sorted()
@@ -315,18 +362,22 @@ func (g *Graph) PredecessorsSorted(v NodeID) []NodeID {
 // Nodes calls fn for every node until fn returns false.
 // Iteration order is unspecified.
 func (g *Graph) Nodes(fn func(v NodeID, label string) bool) {
-	for v, rec := range g.nodes {
-		if !fn(v, LabelOf(rec.label)) {
-			return
+	for i := range g.shards {
+		for v, rec := range g.shards[i].nodes {
+			if !fn(v, LabelOf(rec.label)) {
+				return
+			}
 		}
 	}
 }
 
 // NodesSorted returns all node IDs in ascending order.
 func (g *Graph) NodesSorted() []NodeID {
-	vs := make([]NodeID, 0, len(g.nodes))
-	for v := range g.nodes {
-		vs = append(vs, v)
+	vs := make([]NodeID, 0, g.NumNodes())
+	for i := range g.shards {
+		for v := range g.shards[i].nodes {
+			vs = append(vs, v)
+		}
 	}
 	sortNodeIDs(vs)
 	return vs
@@ -334,32 +385,40 @@ func (g *Graph) NodesSorted() []NodeID {
 
 // Edges calls fn for every edge until fn returns false.
 func (g *Graph) Edges(fn func(e Edge) bool) {
-	for v, rec := range g.nodes {
-		stop := false
-		rec.out.forEach(func(w NodeID) bool {
-			if !fn(Edge{v, w}) {
-				stop = true
-				return false
+	for i := range g.shards {
+		for v, rec := range g.shards[i].nodes {
+			stop := false
+			rec.out.forEach(func(w NodeID) bool {
+				if !fn(Edge{v, w}) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
 			}
-			return true
-		})
-		if stop {
-			return
 		}
 	}
 }
 
-// EdgesSorted returns all edges ordered by (From, To).
+// EdgesSorted returns all edges ordered by (From, To). The result is
+// memoized against the mutation generation: repeated calls between
+// updates return the same slice in O(1) instead of re-sorting. The slice
+// is owned by the graph — treat it as read-only; it is valid until the
+// next mutation.
 func (g *Graph) EdgesSorted() []Edge {
-	es := make([]Edge, 0, g.edges)
-	g.Edges(func(e Edge) bool { es = append(es, e); return true })
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].From != es[j].From {
-			return es[i].From < es[j].From
-		}
-		return es[i].To < es[j].To
+	return g.edgesSorted.Get(g, func() []Edge {
+		es := make([]Edge, 0, g.edges)
+		g.Edges(func(e Edge) bool { es = append(es, e); return true })
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].From != es[j].From {
+				return es[i].From < es[j].From
+			}
+			return es[i].To < es[j].To
+		})
+		return es
 	})
-	return es
 }
 
 // NodesWithLabel returns the IDs of all nodes labeled label, sorted
@@ -414,29 +473,38 @@ func (g *Graph) Labels(fn func(label string, count int) bool) {
 }
 
 // Clone returns a deep copy of g. The copy shares the process-wide label
-// intern table (IDs remain comparable) but no mutable state.
+// intern table (IDs remain comparable) but no mutable state; it inherits
+// the shard count and parallelism budget.
 func (g *Graph) Clone() *Graph {
+	p := len(g.shards)
 	c := &Graph{
-		nodes:   make(map[NodeID]*node, len(g.nodes)),
-		slotCap: g.slotCap,
-		byLabel: make(map[LabelID]*adjSet, len(g.byLabel)),
-		edges:   g.edges,
-		workers: g.workers,
+		shards:     make([]shard, p),
+		shardShift: g.shardShift,
+		slotCeil:   g.slotCeil,
+		byLabel:    make(map[LabelID]*adjSet, len(g.byLabel)),
+		edges:      g.edges,
+		gen:        g.gen,
+		workers:    g.workers,
 	}
-	if len(g.free) > 0 {
-		c.free = make([]int32, len(g.free))
-		copy(c.free, g.free)
-	}
-	for v, rec := range g.nodes {
-		cn := &node{
-			label: rec.label,
-			slot:  rec.slot,
-			out:   rec.out.clone(),
-			in:    rec.in.clone(),
+	for i := range g.shards {
+		sh, csh := &g.shards[i], &c.shards[i]
+		csh.nodes = make(map[NodeID]*node, len(sh.nodes))
+		csh.slotCap = sh.slotCap
+		if len(sh.free) > 0 {
+			csh.free = make([]int32, len(sh.free))
+			copy(csh.free, sh.free)
 		}
-		c.nodes[v] = cn
-		c.noteDirty(&cn.out)
-		c.noteDirty(&cn.in)
+		for v, rec := range sh.nodes {
+			cn := &node{
+				label: rec.label,
+				slot:  rec.slot,
+				out:   rec.out.clone(),
+				in:    rec.in.clone(),
+			}
+			csh.nodes[v] = cn
+			c.noteDirty(&cn.out)
+			c.noteDirty(&cn.in)
+		}
 	}
 	for lid, set := range g.byLabel {
 		cs := set.clone()
@@ -448,25 +516,27 @@ func (g *Graph) Clone() *Graph {
 
 // InducedSubgraph returns the subgraph of g induced by the node set keep:
 // its nodes are keep ∩ V and its edges are every edge of g with both
-// endpoints in keep (Section 2 of the paper).
+// endpoints in keep (Section 2 of the paper). The subgraph inherits g's
+// shard count.
 func (g *Graph) InducedSubgraph(keep map[NodeID]bool) *Graph {
-	s := New()
+	s := NewSharded(len(g.shards))
 	for v, in := range keep {
 		if !in {
 			continue
 		}
-		if rec, ok := g.nodes[v]; ok {
+		if rec := g.rec(v); rec != nil {
 			s.addNodeID(v, rec.label)
 		}
 	}
-	for v := range s.nodes {
-		g.nodes[v].out.forEach(func(w NodeID) bool {
+	s.Nodes(func(v NodeID, _ string) bool {
+		g.rec(v).out.forEach(func(w NodeID) bool {
 			if s.HasNode(w) {
 				s.AddEdge(v, w)
 			}
 			return true
 		})
-	}
+		return true
+	})
 	return s
 }
 
@@ -474,9 +544,11 @@ func (g *Graph) InducedSubgraph(keep map[NodeID]bool) *Graph {
 // Generators use it to mint fresh IDs.
 func (g *Graph) MaxNodeID() NodeID {
 	max := NodeID(-1)
-	for v := range g.nodes {
-		if v > max {
-			max = v
+	for i := range g.shards {
+		for v := range g.shards[i].nodes {
+			if v > max {
+				max = v
+			}
 		}
 	}
 	return max
@@ -484,28 +556,33 @@ func (g *Graph) MaxNodeID() NodeID {
 
 // Equal reports whether g and h have identical node sets, labels and edges.
 // Labels compare by interned ID, which is exact because the intern table is
-// process-wide.
+// process-wide. Shard counts need not match: equality is over the abstract
+// graph, not the partitioning.
 func (g *Graph) Equal(h *Graph) bool {
 	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
 		return false
 	}
-	for v, rec := range g.nodes {
-		hrec, ok := h.nodes[v]
-		if !ok || hrec.label != rec.label {
-			return false
-		}
-	}
-	for v, rec := range g.nodes {
-		same := true
-		rec.out.forEach(func(w NodeID) bool {
-			if !h.HasEdge(v, w) {
-				same = false
+	for i := range g.shards {
+		for v, rec := range g.shards[i].nodes {
+			hrec := h.rec(v)
+			if hrec == nil || hrec.label != rec.label {
 				return false
 			}
-			return true
-		})
-		if !same {
-			return false
+		}
+	}
+	for i := range g.shards {
+		for v, rec := range g.shards[i].nodes {
+			same := true
+			rec.out.forEach(func(w NodeID) bool {
+				if !h.HasEdge(v, w) {
+					same = false
+					return false
+				}
+				return true
+			})
+			if !same {
+				return false
+			}
 		}
 	}
 	return true

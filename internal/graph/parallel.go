@@ -19,8 +19,10 @@ import (
 //     otherwise race to rebuild).
 //
 // The incremental engines (kws, rpq, iso) lean on this split: they apply
-// ΔG serially, then fan their repair work out across workers against the
-// read-only graph. SetParallelism caps that fan-out.
+// ΔG under exclusive access — internally shard-parallel for large batches
+// (see the two-phase protocol in shard.go), which is invisible to readers
+// — then fan their repair work out across workers against the read-only
+// graph. SetParallelism caps both fan-outs.
 
 // SetParallelism sets the worker budget used by the parallel batch builds
 // and incremental repairs of the engines maintaining this graph, and by any

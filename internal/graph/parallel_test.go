@@ -204,8 +204,8 @@ func TestScratchPoolReuse(t *testing.T) {
 	if s3 == s2 {
 		t.Fatal("overlapping acquires returned the same buffer")
 	}
-	if len(s2.visited) < int(g.slotCap) || len(s3.visited) < int(g.slotCap) {
-		t.Fatal("acquired buffer not sized to slotCap")
+	if len(s2.visited) < int(g.slotCeil) || len(s3.visited) < int(g.slotCeil) {
+		t.Fatal("acquired buffer not sized to slotCeil")
 	}
 	g.release(s2)
 	g.release(s3)

@@ -1,0 +1,441 @@
+package graph
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Sharded node storage. The node space is partitioned into a power-of-two
+// number of shards by a multiplicative hash of the NodeID; each shard owns
+// the node records (and therefore the out- and in-adjacency sets) of its
+// nodes, plus a private dense-slot allocator. Cross-shard edges are
+// recorded on both endpoint shards — (v, w) lives in v's out set on
+// shard(v) and in w's in set on shard(w) — so traversal kernels read any
+// shard without coordination, and a parallel batch application can hand
+// each shard's effects to a dedicated worker with no cross-shard writes.
+//
+// Ownership invariant: a node record is written only (a) under the
+// exclusive-mutation half of the concurrency contract, or (b) during
+// phase 1 of a parallel ApplyBatch, by the single worker driving the
+// owning shard. Graph-global state (byLabel, edges, dirtySorted, slotCeil,
+// gen) is written only serially — phase 2 of the parallel path merges the
+// per-shard deltas in ascending shard order, which is what makes the
+// parallel path deterministic: it produces the same abstract graph as the
+// serial one (see ApplyBatch for the exact parity contract).
+
+// MaxShards caps the shard count. Far above any sensible core count; it
+// bounds the per-graph fixed cost of the shard table.
+const MaxShards = 256
+
+// parallelBatchMin is the batch size below which ApplyBatch stays serial:
+// planning plus fan-out overhead dominates tiny batches.
+const parallelBatchMin = 32
+
+// shard owns one partition of the node space.
+type shard struct {
+	nodes map[NodeID]*node
+	// free recycles local slot indices of deleted nodes.
+	free []int32
+	// slotCap is the number of local slot indices ever issued.
+	slotCap int32
+	// dirty buffers adjacency sets dirtied by this shard's worker during
+	// phase 1 of a parallel ApplyBatch; phase 2 drains it into the graph's
+	// dirtySorted queue (serially, in shard order).
+	dirty []*adjSet
+}
+
+// noteDirty is the phase-1 (per-shard) counterpart of Graph.noteDirty.
+func (sh *shard) noteDirty(a *adjSet) {
+	if a.set != nil && a.dirty && !a.queued {
+		a.queued = true
+		sh.dirty = append(sh.dirty, a)
+	}
+}
+
+// allocSlot issues a dense global slot for a new node of shard si: local
+// slots interleave across shards (global = local·P + si), so the visited
+// arrays stay compact as long as the hash keeps shards balanced. Callers
+// on the serial path must refresh g.slotCeil afterwards.
+func (sh *shard) allocSlot(p, si int32) int32 {
+	var local int32
+	if n := len(sh.free); n > 0 {
+		local = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+	} else {
+		local = sh.slotCap
+		sh.slotCap++
+	}
+	return local*p + si
+}
+
+// recycleSlot returns a deleted node's global slot to the owning shard.
+func (sh *shard) recycleSlot(slot, p int32) {
+	sh.free = append(sh.free, slot/p)
+}
+
+// normalizeShards rounds n to the effective shard count: n <= 0 selects
+// the default (smallest power of two covering runtime.GOMAXPROCS(0), the
+// same budget Parallelism defaults to), other values round up to a power
+// of two and clamp to [1, MaxShards].
+func normalizeShards(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// EffectiveShards reports the shard count SetShards(n)/NewSharded(n)
+// would produce: the normalized power of two. Benchmark harnesses use it
+// to label runs.
+func EffectiveShards(n int) int { return normalizeShards(n) }
+
+// shardIdxOf maps a node ID to its owning shard: a Fibonacci multiplicative
+// hash keeps sequential IDs (the common case in generated workloads) spread
+// evenly. Deterministic for a fixed shard count.
+func (g *Graph) shardIdxOf(v NodeID) uint64 {
+	return (uint64(v) * 0x9E3779B97F4A7C15) >> g.shardShift
+}
+
+// rec returns the record of v, or nil: the sharded replacement for the old
+// single node map lookup.
+func (g *Graph) rec(v NodeID) *node {
+	return g.shards[g.shardIdxOf(v)].nodes[v]
+}
+
+// refreshSlotCeil recomputes the exclusive upper bound of global slot
+// indices from the per-shard allocators.
+func (g *Graph) refreshSlotCeil() {
+	var maxLocal int32
+	for i := range g.shards {
+		if c := g.shards[i].slotCap; c > maxLocal {
+			maxLocal = c
+		}
+	}
+	g.slotCeil = maxLocal * int32(len(g.shards))
+}
+
+// bumpSlotCeil grows slotCeil after a serial slot allocation.
+func (g *Graph) bumpSlotCeil(slot int32) {
+	if slot+1 > g.slotCeil {
+		g.slotCeil = slot + 1
+	}
+}
+
+// NumShards returns the shard count P (a power of two).
+func (g *Graph) NumShards() int { return len(g.shards) }
+
+// ShardOf returns the index of the shard owning v (whether or not v
+// exists). Stable between SetShards calls.
+func (g *Graph) ShardOf(v NodeID) int { return int(g.shardIdxOf(v)) }
+
+// SetShards repartitions the node space into n shards (rounded up to a
+// power of two, capped at MaxShards; n <= 0 restores the default, the
+// smallest power of two ≥ runtime.GOMAXPROCS(0)). Rebalancing rehashes
+// every node record and reissues dense slots — O(|V|) — so configure
+// shards up front or at rare topology milestones, not per batch. Requires
+// exclusive access (a mutation under the concurrency contract). Clones
+// inherit the shard count.
+func (g *Graph) SetShards(n int) {
+	p := normalizeShards(n)
+	if p == len(g.shards) {
+		return
+	}
+	old := g.shards
+	perShard := g.NumNodes()/p + 1
+	g.shards = make([]shard, p)
+	g.shardShift = shardShiftFor(p)
+	for i := range g.shards {
+		g.shards[i].nodes = make(map[NodeID]*node, perShard)
+	}
+	p32 := int32(p)
+	for i := range old {
+		for v, rec := range old[i].nodes {
+			si := g.shardIdxOf(v)
+			sh := &g.shards[si]
+			rec.slot = sh.allocSlot(p32, int32(si))
+			sh.nodes[v] = rec
+		}
+	}
+	g.refreshSlotCeil()
+	g.gen++
+}
+
+// shardShiftFor returns the right-shift that maps the hash to [0, p).
+func shardShiftFor(p int) uint {
+	bits := uint(0)
+	for 1<<bits < p {
+		bits++
+	}
+	return 64 - bits // p == 1 shifts by 64, which Go defines as 0
+}
+
+// ShardNodes calls fn for every node owned by shard s with its interned
+// label, until fn returns false. Iteration order is unspecified. Reads of
+// distinct shards may run concurrently between mutations.
+func (g *Graph) ShardNodes(s int, fn func(v NodeID, lid LabelID) bool) {
+	for v, rec := range g.shards[s].nodes {
+		if !fn(v, rec.label) {
+			return
+		}
+	}
+}
+
+// NumShardNodes returns the number of nodes owned by shard s in O(1).
+func (g *Graph) NumShardNodes(s int) int { return len(g.shards[s].nodes) }
+
+// ShardNodesSorted returns the nodes owned by shard s in ascending order.
+// The slice is freshly allocated and owned by the caller. The engines'
+// batch builds use it to collect the node universe shard-parallel with a
+// deterministic (shard-grouped, ascending) order.
+func (g *Graph) ShardNodesSorted(s int) []NodeID {
+	sh := &g.shards[s]
+	out := make([]NodeID, 0, len(sh.nodes))
+	for v := range sh.nodes {
+		out = append(out, v)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// NodesSortedParallel returns all node IDs in ascending order, like
+// NodesSorted, but collects and sorts per shard across Parallelism()
+// workers and then merges the shard runs. Output is identical to
+// NodesSorted; only the schedule differs. Callers must hold the graph
+// read-shareable (no concurrent mutation).
+func (g *Graph) NodesSortedParallel() []NodeID {
+	p := len(g.shards)
+	workers := g.Parallelism()
+	if p == 1 || workers <= 1 {
+		return g.NodesSorted()
+	}
+	runs := make([][]NodeID, p)
+	ParallelFor(workers, p, func(_, s int) {
+		runs[s] = g.ShardNodesSorted(s)
+	})
+	// Pairwise merge: O(n log P) total, versus O(n·P) for a linear-scan
+	// selection over all heads.
+	for len(runs) > 1 {
+		merged := runs[:0]
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				merged = append(merged, runs[i])
+				break
+			}
+			merged = append(merged, mergeSortedIDs(runs[i], runs[i+1]))
+		}
+		runs = merged
+	}
+	return runs[0]
+}
+
+// mergeSortedIDs merges two ascending runs into a fresh ascending slice.
+func mergeSortedIDs(a, b []NodeID) []NodeID {
+	out := make([]NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// TouchedShards returns the sorted, de-duplicated indices of the shards
+// owning any endpoint of the batch: the partitions a parallel application
+// of b will write. Engines use it as a locality signal (how concentrated
+// ΔG is) when deciding between incremental repair and batch fallback.
+func (b Batch) TouchedShards(g *Graph) []int {
+	seen := make(map[int]struct{}, len(g.shards))
+	for _, u := range b {
+		seen[int(g.shardIdxOf(u.From))] = struct{}{}
+		seen[int(g.shardIdxOf(u.To))] = struct{}{}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- Parallel batch application ----
+
+// planNode is a node the batch will create, with its first-mention label.
+type planNode struct {
+	v   NodeID
+	lid LabelID
+}
+
+// planOp is one net edge effect of a normalized view of the batch.
+type planOp struct {
+	e  Edge
+	op Op
+}
+
+// batchPlan is a validated, shard-partitioned execution plan for one batch.
+type batchPlan struct {
+	newNodes []planNode
+	ops      []planOp
+	// nodesByShard / opsByShard index into newNodes / ops per owning shard;
+	// an op appears on both endpoint shards when they differ.
+	nodesByShard [][]int32
+	opsByShard   [][]int32
+}
+
+// planBatch validates b against the current graph (the same sequential
+// applicability rule Apply enforces: no insert of an existing edge, no
+// delete of a missing one, per the running in-batch state) and compiles
+// the shard-partitioned plan of its net effects. Read-only; reports
+// ok=false when any update would fail, in which case the caller must take
+// the serial path to reproduce the exact partial application and error.
+func (g *Graph) planBatch(b Batch) (*batchPlan, bool) {
+	p := len(g.shards)
+	plan := &batchPlan{
+		nodesByShard: make([][]int32, p),
+		opsByShard:   make([][]int32, p),
+	}
+	exists := make(map[Edge]bool, len(b))
+	initial := make(map[Edge]bool, len(b))
+	emitted := make(map[Edge]bool, len(b))
+	newLabel := make(map[NodeID]struct{}, 2*len(b))
+	ensure := func(v NodeID, label string) {
+		if g.HasNode(v) {
+			return
+		}
+		if _, ok := newLabel[v]; ok {
+			return
+		}
+		newLabel[v] = struct{}{}
+		si := g.shardIdxOf(v)
+		plan.nodesByShard[si] = append(plan.nodesByShard[si], int32(len(plan.newNodes)))
+		plan.newNodes = append(plan.newNodes, planNode{v: v, lid: InternLabel(label)})
+	}
+	for _, u := range b {
+		e := u.Edge()
+		cur, seen := exists[e]
+		if !seen {
+			cur = g.HasEdge(u.From, u.To)
+			initial[e] = cur
+		}
+		switch u.Op {
+		case Insert:
+			if cur {
+				return nil, false
+			}
+			ensure(u.From, u.FromLabel)
+			ensure(u.To, u.ToLabel)
+			exists[e] = true
+		case Delete:
+			if !cur {
+				return nil, false
+			}
+			exists[e] = false
+		default:
+			return nil, false
+		}
+	}
+	// Emit net ops in first-touch order (deterministic schedule).
+	for _, u := range b {
+		e := u.Edge()
+		if emitted[e] {
+			continue
+		}
+		emitted[e] = true
+		if exists[e] == initial[e] {
+			continue // cancelled within the batch
+		}
+		op := Delete
+		if exists[e] {
+			op = Insert
+		}
+		i := int32(len(plan.ops))
+		plan.ops = append(plan.ops, planOp{e: e, op: op})
+		sf, st := g.shardIdxOf(e.From), g.shardIdxOf(e.To)
+		plan.opsByShard[sf] = append(plan.opsByShard[sf], i)
+		if st != sf {
+			plan.opsByShard[st] = append(plan.opsByShard[st], i)
+		}
+	}
+	return plan, true
+}
+
+// applyShardPhase is phase 1 for one shard: create the shard's new nodes
+// (in batch first-mention order, so slot assignment matches the serial
+// path exactly) and apply the owned halves of every edge effect. It
+// returns the shard's edge-count delta (counted on the From side, so each
+// edge is counted exactly once across shards). Runs concurrently with the
+// other shards' phase 1; writes only shard-owned state.
+func (g *Graph) applyShardPhase(si int, plan *batchPlan) int {
+	sh := &g.shards[si]
+	p32, si32 := int32(len(g.shards)), int32(si)
+	for _, ni := range plan.nodesByShard[si] {
+		n := plan.newNodes[ni]
+		sh.nodes[n.v] = &node{label: n.lid, slot: sh.allocSlot(p32, si32)}
+	}
+	edgeDelta := 0
+	u64si := uint64(si)
+	for _, oi := range plan.opsByShard[si] {
+		op := plan.ops[oi]
+		if g.shardIdxOf(op.e.From) == u64si {
+			rec := sh.nodes[op.e.From]
+			if op.op == Insert {
+				rec.out.add(op.e.To)
+				edgeDelta++
+			} else {
+				rec.out.remove(op.e.To)
+				edgeDelta--
+			}
+			sh.noteDirty(&rec.out)
+		}
+		if g.shardIdxOf(op.e.To) == u64si {
+			rec := sh.nodes[op.e.To]
+			if op.op == Insert {
+				rec.in.add(op.e.From)
+			} else {
+				rec.in.remove(op.e.From)
+			}
+			sh.noteDirty(&rec.in)
+		}
+	}
+	return edgeDelta
+}
+
+// applyBatchParallel applies a validated plan with the two-phase protocol:
+// phase 1 applies every shard's owned effects fully in parallel, phase 2
+// serially merges the per-shard deltas — label-index insertions, dirty
+// adjacency queues, edge counts — in ascending shard order. The final
+// graph (node set, labels, slots, adjacency membership, counters) is
+// identical to a serial application of the same batch; only the internal
+// hybrid-adjacency representation may differ for sets whose in-batch
+// updates cancelled.
+func (g *Graph) applyBatchParallel(plan *batchPlan, workers int) {
+	p := len(g.shards)
+	edgeDeltas := make([]int, p)
+	ParallelFor(workers, p, func(_, si int) {
+		edgeDeltas[si] = g.applyShardPhase(si, plan)
+	})
+	for si := 0; si < p; si++ {
+		sh := &g.shards[si]
+		for _, ni := range plan.nodesByShard[si] {
+			n := plan.newNodes[ni]
+			g.labelIndexAdd(n.lid, n.v)
+		}
+		g.dirtySorted = append(g.dirtySorted, sh.dirty...)
+		sh.dirty = sh.dirty[:0]
+		g.edges += edgeDeltas[si]
+	}
+	g.refreshSlotCeil()
+	g.gen++
+}

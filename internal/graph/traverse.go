@@ -22,8 +22,8 @@ func (g *Graph) bfsFrom(sources []NodeID, rev bool, fn func(v NodeID, dist int) 
 	s := g.acquire()
 	defer g.release(s)
 	for _, src := range sources {
-		rec, ok := g.nodes[src]
-		if !ok || s.seen(rec.slot) {
+		rec := g.rec(src)
+		if rec == nil || s.seen(rec.slot) {
 			continue
 		}
 		s.queue = append(s.queue, qitem{src, 0})
@@ -33,7 +33,7 @@ func (g *Graph) bfsFrom(sources []NodeID, rev bool, fn func(v NodeID, dist int) 
 		if !fn(it.v, int(it.d)) {
 			continue
 		}
-		rec := g.nodes[it.v]
+		rec := g.rec(it.v)
 		if rec == nil {
 			continue // deleted by the callback; see the contract above
 		}
@@ -42,7 +42,7 @@ func (g *Graph) bfsFrom(sources []NodeID, rev bool, fn func(v NodeID, dist int) 
 			adj = &rec.in
 		}
 		adj.forEach(func(w NodeID) bool {
-			if !s.seen(g.nodes[w].slot) {
+			if !s.seen(g.rec(w).slot) {
 				s.queue = append(s.queue, qitem{w, it.d + 1})
 			}
 			return true
@@ -65,8 +65,8 @@ func (g *Graph) ReverseBFSFrom(sources []NodeID, fn func(v NodeID, dist int) boo
 // Reaches reports whether there is a directed path from v to w. The search
 // stops the moment w is dequeued.
 func (g *Graph) Reaches(v, w NodeID) bool {
-	rec, ok := g.nodes[v]
-	if !ok || !g.HasNode(w) {
+	rec := g.rec(v)
+	if rec == nil || !g.HasNode(w) {
 		return false
 	}
 	if v == w {
@@ -80,12 +80,12 @@ func (g *Graph) Reaches(v, w NodeID) bool {
 	for n := len(s.stack); n > 0 && !found; n = len(s.stack) {
 		x := s.stack[n-1]
 		s.stack = s.stack[:n-1]
-		g.nodes[x].out.forEach(func(y NodeID) bool {
+		g.rec(x).out.forEach(func(y NodeID) bool {
 			if y == w {
 				found = true
 				return false
 			}
-			if !s.seen(g.nodes[y].slot) {
+			if !s.seen(g.rec(y).slot) {
 				s.stack = append(s.stack, y)
 			}
 			return true
@@ -102,8 +102,8 @@ func (g *Graph) ForEachWithin(seeds []NodeID, d int, fn func(v NodeID, dist int)
 	s := g.acquire()
 	defer g.release(s)
 	for _, seed := range seeds {
-		rec, ok := g.nodes[seed]
-		if !ok || s.seen(rec.slot) {
+		rec := g.rec(seed)
+		if rec == nil || s.seen(rec.slot) {
 			continue
 		}
 		s.queue = append(s.queue, qitem{seed, 0})
@@ -116,12 +116,12 @@ func (g *Graph) ForEachWithin(seeds []NodeID, d int, fn func(v NodeID, dist int)
 		if int(it.d) == d {
 			continue
 		}
-		rec := g.nodes[it.v]
+		rec := g.rec(it.v)
 		if rec == nil {
 			continue // deleted by the callback; see the contract above
 		}
 		expand := func(w NodeID) bool {
-			if !s.seen(g.nodes[w].slot) {
+			if !s.seen(g.rec(w).slot) {
 				s.queue = append(s.queue, qitem{w, it.d + 1})
 			}
 			return true
@@ -158,8 +158,8 @@ func (g *Graph) Neighborhood(seeds []NodeID, d int) *Graph {
 // ShortestDist returns the hop length of a shortest directed path from v to
 // w, or -1 if w is unreachable from v. The BFS stops as soon as w is seen.
 func (g *Graph) ShortestDist(v, w NodeID) int {
-	rec, ok := g.nodes[v]
-	if !ok || !g.HasNode(w) {
+	rec := g.rec(v)
+	if rec == nil || !g.HasNode(w) {
 		return -1
 	}
 	if v == w {
@@ -172,12 +172,12 @@ func (g *Graph) ShortestDist(v, w NodeID) int {
 	res := -1
 	for head := 0; head < len(s.queue) && res < 0; head++ {
 		it := s.queue[head]
-		g.nodes[it.v].out.forEach(func(y NodeID) bool {
+		g.rec(it.v).out.forEach(func(y NodeID) bool {
 			if y == w {
 				res = int(it.d) + 1
 				return false
 			}
-			if !s.seen(g.nodes[y].slot) {
+			if !s.seen(g.rec(y).slot) {
 				s.queue = append(s.queue, qitem{y, it.d + 1})
 			}
 			return true
@@ -193,7 +193,7 @@ func (g *Graph) UndirectedComponents() [][]NodeID {
 	defer g.release(s)
 	var comps [][]NodeID
 	for _, start := range g.NodesSorted() {
-		if s.seen(g.nodes[start].slot) {
+		if s.seen(g.rec(start).slot) {
 			continue
 		}
 		var comp []NodeID
@@ -202,9 +202,9 @@ func (g *Graph) UndirectedComponents() [][]NodeID {
 			v := s.stack[n-1]
 			s.stack = s.stack[:n-1]
 			comp = append(comp, v)
-			rec := g.nodes[v]
+			rec := g.rec(v)
 			grow := func(w NodeID) bool {
-				if !s.seen(g.nodes[w].slot) {
+				if !s.seen(g.rec(w).slot) {
 					s.stack = append(s.stack, w)
 				}
 				return true

@@ -132,7 +132,27 @@ func (g *Graph) Apply(u Update) error {
 
 // ApplyBatch applies every update of ΔG in order, producing G ⊕ ΔG.
 // It stops at the first inapplicable update.
+//
+// Large batches on a multi-shard graph apply shard-parallel: the batch is
+// validated and partitioned by owning shard (planBatch), every shard's
+// owned effects run concurrently across Parallelism() workers, and the
+// per-shard deltas merge serially in shard order (shard.go). The result —
+// node set, labels, slot assignment, adjacency membership, counters, and
+// any error — is identical to the serial loop (only the internal
+// slice-vs-map adjacency representation may differ, because the parallel
+// path applies net effects and skips transient promotions; iteration
+// order is unspecified either way); batches that would fail partway take
+// the serial path so partial application and the error position are
+// preserved exactly.
 func (g *Graph) ApplyBatch(b Batch) error {
+	if len(b) >= parallelBatchMin && len(g.shards) > 1 {
+		if workers := g.Parallelism(); workers > 1 {
+			if plan, ok := g.planBatch(b); ok {
+				g.applyBatchParallel(plan, workers)
+				return nil
+			}
+		}
+	}
 	for i, u := range b {
 		if err := g.Apply(u); err != nil {
 			return fmt.Errorf("update %d: %w", i, err)

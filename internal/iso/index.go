@@ -19,7 +19,13 @@ type Index struct {
 	// byEdge maps a graph edge to the keys of the matches whose pattern
 	// edges use it.
 	byEdge map[graph.Edge]map[string]struct{}
-	meter  *cost.Meter
+	// sorted memoizes Matches against the graph mutation generation (the
+	// match set only moves inside Apply*, which mutates the graph first).
+	sorted graph.GenCache[[]Match]
+	// lastEst records the repair-vs-batch decision of the most recent
+	// Apply (cost-based fallback); see Apply and LastEstimate.
+	lastEst cost.Estimate
+	meter   *cost.Meter
 }
 
 // Delta describes changes ΔO to Q(G).
@@ -107,23 +113,38 @@ func (ix *Index) Pattern() *Pattern { return ix.p }
 // NumMatches returns |Q(G)|.
 func (ix *Index) NumMatches() int { return len(ix.matches) }
 
-// Matches returns Q(G) sorted by canonical key.
+// Matches returns Q(G) sorted by canonical key. The slice is memoized
+// against the graph's mutation generation — repeated calls between
+// updates are O(1) — and shared: treat it as read-only; it is valid
+// until the next Apply*.
 func (ix *Index) Matches() []Match {
-	keys := make([]string, 0, len(ix.matches))
-	for k := range ix.matches {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Match, len(keys))
-	for i, k := range keys {
-		out[i] = ix.matches[k]
-	}
-	return out
+	return ix.sorted.Get(ix.g, func() []Match {
+		keys := make([]string, 0, len(ix.matches))
+		for k := range ix.matches {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]Match, len(keys))
+		for i, k := range keys {
+			out[i] = ix.matches[k]
+		}
+		return out
+	})
 }
 
 // Apply processes a batch ΔG with IncISO: deletions drop exactly the
 // indexed matches that use a deleted edge; insertions run VF2 restricted to
 // the d_Q-neighborhood G_dQ(ΔG+) and add the matches not seen before.
+//
+// ΔG itself is applied through Graph.ApplyBatch, so large batches mutate
+// shard-parallel; the match bookkeeping below only reads edge identities,
+// never graph state that the reorder could disturb. Before repairing,
+// Apply consults the cost model (cost.EstimateISO): when the batch seeds
+// more anchored enumerations than VF2 would open root-candidate subtrees —
+// the regime where IncISO loses to VF2 at batch granularity — it falls
+// back to re-enumerating Q(G) from scratch and diffing the match sets.
+// The decision is a pure function of graph and batch statistics, so it is
+// identical at every worker and shard count.
 func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 	var d Delta
 	// Node creation side effects of the raw batch.
@@ -143,9 +164,39 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 		}
 	}
 	ins, dels := batch.Split()
-	// (1) Deletions: remove dead matches via the inverted index.
+	rootCands := ix.g.NumNodesWithLabelID(ix.p.Graph().LabelIDAt(ix.p.order[0]))
+	// Count the anchored enumerations the incremental path would seed: one
+	// per label-compatible pattern edge per insertion (anchoredMatches).
+	// Both this count and the shard footprint are skipped on the tiny-batch
+	// hot path, which the estimator's floor always routes incremental.
+	anchors, shardsTouched := 0, 0
+	if len(batch) >= cost.FallbackMinBatch {
+		pg := ix.p.Graph()
+		for _, u := range ins {
+			lf, lt := ix.g.LabelIDAt(u.From), ix.g.LabelIDAt(u.To)
+			pg.Edges(func(pe graph.Edge) bool {
+				if pg.LabelIDAt(pe.From) == lf && pg.LabelIDAt(pe.To) == lt &&
+					(pe.From != pe.To || u.From == u.To) {
+					anchors++
+				}
+				return true
+			})
+		}
+		shardsTouched = len(batch.TouchedShards(ix.g))
+	}
+	ix.lastEst = cost.EstimateISO(len(ins), len(dels), rootCands, anchors, shardsTouched)
+	// Structural updates first, in one (shard-parallel) batch application;
+	// the batch was validated above, so it cannot fail partway.
+	if err := ix.g.ApplyBatch(batch); err != nil {
+		return Delta{}, err
+	}
+	if ix.lastEst.PreferBatch() {
+		return ix.rebuildDiff(), nil
+	}
+	// (1) Deletions: remove dead matches via the inverted index (which
+	// references edge identities only, so it reads the same either side of
+	// the mutation).
 	for _, u := range dels {
-		ix.g.DeleteEdge(u.From, u.To)
 		e := graph.Edge{From: u.From, To: u.To}
 		for k := range ix.byEdge[e] {
 			if m, ok := ix.remove(k); ok {
@@ -153,17 +204,14 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 			}
 		}
 	}
-	// (2)+(3) Insertions: apply all, then delta-enumerate. Every match not
-	// in the old Q(G) must use at least one inserted edge, so anchoring
-	// each pattern edge on each inserted edge enumerates exactly the new
-	// matches — all of them inside the d_Q-neighborhood of ΔG+, which is
-	// what keeps IncISO localizable. The per-edge anchored enumerations
-	// are pure reads of the post-update graph, so they fan out across
-	// workers; indexing (with its cross-anchor dedup) stays serial, in
-	// insertion order, matching the sequential result exactly.
-	for _, u := range ins {
-		ix.g.AddEdge(u.From, u.To)
-	}
+	// (2)+(3) Insertions: delta-enumerate on the post-update graph. Every
+	// match not in the old Q(G) must use at least one inserted edge, so
+	// anchoring each pattern edge on each inserted edge enumerates exactly
+	// the new matches — all of them inside the d_Q-neighborhood of ΔG+,
+	// which is what keeps IncISO localizable. The per-edge anchored
+	// enumerations are pure reads of the post-update graph, so they fan
+	// out across workers; indexing (with its cross-anchor dedup) stays
+	// serial, in insertion order, matching the sequential result exactly.
 	workers := ix.g.Parallelism()
 	if workers > 1 {
 		// Unconditionally (even for delete-only batches): parallel engines
@@ -191,6 +239,46 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 	sortMatches(d.Removed)
 	return d, nil
 }
+
+// rebuildDiff is the batch-fallback path of Apply: with ΔG already
+// applied, re-enumerate Q(G) from scratch (the VF2 baseline, parallel
+// when workers are available), rebuild the inverted index, and derive the
+// Delta by diffing old and new match sets by canonical key — the exact
+// output change, same as the incremental path.
+func (ix *Index) rebuildDiff() Delta {
+	old := ix.matches
+	ix.matches = make(map[string]Match, len(old))
+	ix.byEdge = make(map[graph.Edge]map[string]struct{}, len(ix.byEdge))
+	if workers := ix.g.Parallelism(); workers > 1 {
+		for _, m := range findAllParallel(ix.g, ix.p, workers, ix.meter) {
+			ix.add(m)
+		}
+	} else {
+		Enumerate(ix.g, ix.p, nil, ix.meter, func(m Match) bool {
+			ix.add(m)
+			return true
+		})
+	}
+	var d Delta
+	for k, m := range ix.matches {
+		if _, was := old[k]; !was {
+			d.Added = append(d.Added, m)
+		}
+	}
+	for k, m := range old {
+		if _, is := ix.matches[k]; !is {
+			d.Removed = append(d.Removed, m)
+		}
+	}
+	sortMatches(d.Added)
+	sortMatches(d.Removed)
+	return d
+}
+
+// LastEstimate returns the cost-model verdict of the most recent Apply:
+// the predicted |AFF|, the repair-vs-batch costs, and the shard footprint
+// of the batch. Benchmarks and tests use it to observe routing.
+func (ix *Index) LastEstimate() cost.Estimate { return ix.lastEst }
 
 // anchoredMatches enumerates the matches created by inserted edge u by
 // pinning every label-compatible pattern edge onto it. Read-only (the

@@ -96,13 +96,20 @@ func (t *touchTracker) delta() Delta {
 			d.Updated = append(d.Updated, m)
 		}
 	}
+	d.sortByRoot()
+	return d
+}
+
+// sortByRoot puts the delta into its canonical order (roots ascending in
+// every class). Both the incremental repair and the batch-fallback path
+// emit through it, so their deltas stay comparable.
+func (d *Delta) sortByRoot() {
 	byRoot := func(ms []Match) func(i, j int) bool {
 		return func(i, j int) bool { return ms[i].Root < ms[j].Root }
 	}
 	sort.Slice(d.Added, byRoot(d.Added))
 	sort.Slice(d.Updated, byRoot(d.Updated))
 	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i] < d.Removed[j] })
-	return d
 }
 
 func intsEqual(a, b []int) bool {
@@ -292,7 +299,38 @@ func (ix *Index) settle(i int, q *pq.Heap[graph.NodeID], t *touchTracker, meter 
 // Apply processes a batch update ΔG with the three-phase IncKWS algorithm.
 // The batch is normalized first (late updates win); updates must be valid
 // against the current graph in sequence order.
+//
+// Before repairing, Apply consults the cost model (cost.EstimateKWS): when
+// the predicted affected area makes the incremental repair costlier than
+// the BLINKS batch build — IncKWS loses that race once |ΔG| grows past
+// roughly a fifth of |E| — it falls back to applying ΔG and rebuilding
+// kdist from scratch, diffing the match sets for the exact same Delta.
+// The decision is a pure function of graph and batch statistics, so it is
+// identical at every worker and shard count.
 func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
+	// Estimate on the normalized view: cancelled insert/delete pairs cost
+	// the repair path nothing, so they must not push the model toward a
+	// full rebuild.
+	norm := batch.Normalize()
+	insN, delsN := 0, 0
+	for _, u := range norm {
+		if u.Op == graph.Insert {
+			insN++
+		} else {
+			delsN++
+		}
+	}
+	// The shard footprint is observability only; skip its map-and-sort on
+	// the tiny-batch hot path the floor always routes incremental.
+	shardsTouched := 0
+	if len(norm) >= cost.FallbackMinBatch {
+		shardsTouched = len(norm.TouchedShards(ix.g))
+	}
+	ix.lastEst = cost.EstimateKWS(ix.g.NumNodes(), ix.g.NumEdges(), insN, delsN,
+		ix.q.Bound, len(ix.q.Keywords), shardsTouched)
+	if ix.lastEst.PreferBatch() {
+		return ix.applyRebuild(batch, norm)
+	}
 	t := newTracker(ix)
 	// Node creation is a side effect of insertions even when the edge is
 	// later cancelled by a deletion, so it runs on the raw batch.
@@ -307,7 +345,7 @@ func (ix *Index) Apply(batch graph.Batch) (Delta, error) {
 			ix.ensureRow(u.To, t)
 		}
 	}
-	batch = batch.Normalize()
+	batch = norm
 	// Apply all structural updates first; kdist is repaired afterwards.
 	if err := ix.g.ApplyBatch(batch); err != nil {
 		return Delta{}, err
@@ -365,6 +403,55 @@ func (ix *Index) repairKeyword(i int, ins, dels graph.Batch, t *touchTracker, me
 	ix.settle(i, q, t, meter)
 	meter.AddHeapOps(q.Ops)
 }
+
+// applyRebuild is the batch-fallback path of Apply: apply ΔG to the graph
+// (node-creation side effects from the raw batch, structure from the
+// caller's normalized view — the same mutation semantics as the
+// incremental path), rebuild kdist and the match set from scratch with the
+// batch algorithm, and derive the Delta by diffing the old match set
+// against the new one — the exact output change, same as the repair path.
+func (ix *Index) applyRebuild(batch, norm graph.Batch) (Delta, error) {
+	old := ix.matches
+	for _, u := range batch {
+		if u.Op != graph.Insert {
+			continue
+		}
+		ix.g.EnsureNode(u.From, u.FromLabel)
+		ix.g.EnsureNode(u.To, u.ToLabel)
+	}
+	if err := ix.g.ApplyBatch(norm); err != nil {
+		return Delta{}, err
+	}
+	fresh, err := Build(ix.g, ix.q, ix.meter)
+	if err != nil {
+		return Delta{}, err
+	}
+	ix.kdist, ix.matches = fresh.kdist, fresh.matches
+	var d Delta
+	for r, ds := range ix.matches {
+		pre, was := old[r]
+		switch {
+		case !was:
+			m, _ := ix.MatchAt(r)
+			d.Added = append(d.Added, m)
+		case !intsEqual(pre, ds):
+			m, _ := ix.MatchAt(r)
+			d.Updated = append(d.Updated, m)
+		}
+	}
+	for r := range old {
+		if _, is := ix.matches[r]; !is {
+			d.Removed = append(d.Removed, r)
+		}
+	}
+	d.sortByRoot()
+	return d, nil
+}
+
+// LastEstimate returns the cost-model verdict of the most recent Apply:
+// the predicted |AFF|, the repair-vs-batch costs, and the shard footprint
+// of the batch. Benchmarks and tests use it to observe routing.
+func (ix *Index) LastEstimate() cost.Estimate { return ix.lastEst }
 
 // ApplyUnitwise is IncKWSn: it processes the batch one unit update at a
 // time using the unit algorithms, the baseline the paper compares IncKWS

@@ -82,6 +82,13 @@ type Index struct {
 	kwIDs []graph.LabelID
 	// matches maps each match root to its per-keyword distance vector.
 	matches map[graph.NodeID][]int
+	// roots memoizes MatchRoots against the graph mutation generation:
+	// the match set only moves inside Apply*, which always mutates the
+	// graph first, so a matching stamp proves the sorted view is current.
+	roots graph.GenCache[[]graph.NodeID]
+	// lastEst records the repair-vs-batch decision of the most recent
+	// Apply (cost-based fallback); see Apply and LastEstimate.
+	lastEst cost.Estimate
 	meter   *cost.Meter
 }
 
@@ -113,12 +120,30 @@ func Build(g *graph.Graph, q Query, meter *cost.Meter) (*Index, error) {
 	if workers > 1 {
 		g.PrepareConcurrentReads()
 	}
-	// Dense node list once; the parallel sweeps index into it.
+	// Dense node list once; the parallel sweeps index into it. With shards
+	// and workers available the collection fans out per shard (order is
+	// irrelevant — every row lands in a map — so it skips sorting);
+	// otherwise a single append loop, as before sharding.
 	nodes := make([]graph.NodeID, 0, g.NumNodes())
-	g.Nodes(func(v graph.NodeID, _ string) bool {
-		nodes = append(nodes, v)
-		return true
-	})
+	if p := g.NumShards(); p > 1 && workers > 1 {
+		shardRuns := make([][]graph.NodeID, p)
+		graph.ParallelFor(workers, p, func(_, s int) {
+			run := make([]graph.NodeID, 0, g.NumShardNodes(s))
+			g.ShardNodes(s, func(v graph.NodeID, _ graph.LabelID) bool {
+				run = append(run, v)
+				return true
+			})
+			shardRuns[s] = run
+		})
+		for _, run := range shardRuns {
+			nodes = append(nodes, run...)
+		}
+	} else {
+		g.Nodes(func(v graph.NodeID, _ string) bool {
+			nodes = append(nodes, v)
+			return true
+		})
+	}
 	rows := make([][]Entry, len(nodes))
 	graph.ParallelFor(workers, len(nodes), func(_, j int) {
 		rows[j] = ix.freshEntries(nodes[j])
@@ -237,14 +262,19 @@ func (ix *Index) Entry(v graph.NodeID, i int) Entry {
 	return row[i]
 }
 
-// MatchRoots returns the roots of Q(G) in ascending order.
+// MatchRoots returns the roots of Q(G) in ascending order. The slice is
+// memoized against the graph's mutation generation — repeated calls
+// between updates are O(1) — and shared: treat it as read-only; it is
+// valid until the next Apply*.
 func (ix *Index) MatchRoots() []graph.NodeID {
-	roots := make([]graph.NodeID, 0, len(ix.matches))
-	for r := range ix.matches {
-		roots = append(roots, r)
-	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	return roots
+	return ix.roots.Get(ix.g, func() []graph.NodeID {
+		roots := make([]graph.NodeID, 0, len(ix.matches))
+		for r := range ix.matches {
+			roots = append(roots, r)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		return roots
+	})
 }
 
 // MatchAt returns the match rooted at r, or false if r is not a root.

@@ -77,7 +77,10 @@ type Engine struct {
 	// sources whose markings an update can possibly touch, keeping the
 	// cost proportional to AFF rather than to the number of sources.
 	srcAt map[graph.NodeID]map[graph.NodeID]int
-	meter *cost.Meter
+	// sorted memoizes Matches against the graph mutation generation (the
+	// match set only moves inside Apply, which mutates the graph first).
+	sorted graph.GenCache[[]Pair]
+	meter  *cost.Meter
 }
 
 // NewEngine compiles the query and runs the batch algorithm RPQ_NFA.
@@ -108,7 +111,9 @@ func NewEngine(g *graph.Graph, ast *rex.Ast, meter *cost.Meter) (*Engine, error)
 	if workers > 1 {
 		g.PrepareConcurrentReads()
 	}
-	sources := g.NodesSorted()
+	// Sources in ascending order, collected and sorted per shard across
+	// the worker pool (identical output to NodesSorted).
+	sources := g.NodesSortedParallel()
 	reps := make([]*srcRepair, len(sources))
 	meters := make([]cost.Meter, workers)
 	graph.ParallelFor(workers, len(sources), func(worker, i int) {
@@ -330,19 +335,24 @@ func (e *Engine) HasMatch(src, dst graph.NodeID) bool {
 	return ok
 }
 
-// Matches returns Q(G) sorted by (Src, Dst).
+// Matches returns Q(G) sorted by (Src, Dst). The slice is memoized
+// against the graph's mutation generation — repeated calls between
+// updates are O(1) — and shared: treat it as read-only; it is valid
+// until the next Apply*.
 func (e *Engine) Matches() []Pair {
-	out := make([]Pair, 0, len(e.matches))
-	for p := range e.matches {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
+	return e.sorted.Get(e.g, func() []Pair {
+		out := make([]Pair, 0, len(e.matches))
+		for p := range e.matches {
+			out = append(out, p)
 		}
-		return out[i].Dst < out[j].Dst
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Src != out[j].Src {
+				return out[i].Src < out[j].Src
+			}
+			return out[i].Dst < out[j].Dst
+		})
+		return out
 	})
-	return out
 }
 
 // BatchAnswer evaluates Q(G) from scratch and returns the match set: the

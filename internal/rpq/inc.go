@@ -84,13 +84,12 @@ func (e *Engine) Apply(batch graph.Batch) (Delta, error) {
 			return Delta{}, fmt.Errorf("rpq: %w: insert of existing edge (%d,%d)", graph.ErrBadUpdate, u.From, u.To)
 		}
 	}
-	// Structural updates first; markings are repaired afterwards.
-	for _, u := range batch {
-		if u.Op == graph.Insert {
-			e.g.AddEdge(u.From, u.To)
-		} else {
-			e.g.DeleteEdge(u.From, u.To)
-		}
+	// Structural updates first, in one batch application — large batches
+	// mutate shard-parallel via the two-phase protocol of internal/graph;
+	// markings are repaired afterwards. The batch was validated above, so
+	// it cannot fail partway.
+	if err := e.g.ApplyBatch(batch); err != nil {
+		return Delta{}, err
 	}
 	ins, dels := batch.Split()
 	// Route each update to the sources whose markings it can touch, via

@@ -65,7 +65,10 @@ func Build(g *graph.Graph, meter *cost.Meter) *State {
 		dirty:   make(map[CompID]bool),
 		meter:   meter,
 	}
-	res := Run(g.NodesSorted(), func(v graph.NodeID, yield func(graph.NodeID) bool) {
+	// Tarjan needs the global ascending node order; collect it per shard
+	// across the worker pool (identical output to NodesSorted). The DFS
+	// itself stays sequential — IncSCC's certificate is order-dependent.
+	res := Run(g.NodesSortedParallel(), func(v graph.NodeID, yield func(graph.NodeID) bool) {
 		g.Successors(v, yield)
 	})
 	meter.AddNodes(g.NumNodes())

@@ -8,10 +8,12 @@ import "fmt"
 // examples/social_stream for the long-hand version).
 //
 // Concurrency: Apply requires exclusive access to the value and its graph
-// (graph mutation is exclusive), but internally parallelizes its repair
-// work across the graph's Parallelism() workers after the serial mutation
-// step; deltas are merged deterministically, so results are identical at
-// any worker count. Between Apply calls the KWS, RPQ and ISO engines with
+// (graph mutation is exclusive), but internally parallelizes both the
+// mutation step — large batches apply shard-parallel via the two-phase
+// protocol of the sharded substrate (Graph.SetShards) — and the repair
+// work, across the graph's Parallelism() workers; deltas are merged
+// deterministically, so results are identical at any worker or shard
+// count. Between Apply calls the KWS, RPQ and ISO engines with
 // Parallelism() > 1 leave the graph read-shareable, so their read-only
 // methods (Size, Class, Graph and the concrete types' accessors) may be
 // called from multiple goroutines. At Parallelism() == 1 — and for SCC,
