@@ -4,6 +4,7 @@
 // Usage:
 //
 //	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-workers 0] [-shards 0] [-json]
+//	benchmark -store [-json]    # durability: snapshot-load vs text-rebuild
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	points := flag.Int("points", 0, "truncate each sweep to N points (0 = full sweep)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential baseline)")
 	shards := flag.Int("shards", 0, "graph shard count, rounded to a power of two (0 = default, 1 = unsharded baseline)")
+	storeMode := flag.Bool("store", false, "run only the durability experiment: snapshot-load vs text-rebuild timings")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment (id, points, ns/op) instead of tables")
 	flag.Parse()
@@ -34,6 +36,9 @@ func main() {
 	ids := bench.Figures()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")
+	}
+	if *storeMode {
+		ids = []string{"store"}
 	}
 	for _, id := range ids {
 		res, err := bench.Run(strings.TrimSpace(id), cfg)

@@ -4,13 +4,18 @@
 // Usage:
 //
 //	datagen -dataset dbpedia -scale 0.1 -seed 1 -out graph.txt
+//	datagen -dataset dbpedia -scale 0.1 -seed 1 -out graph.snap
 //	datagen -graph graph.txt -updates 500 -ratio 0.5 -out du.txt
+//
+// A -out path ending in .snap writes the binary per-shard snapshot format
+// instead of text; -graph accepts either format.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"incgraph"
 )
@@ -48,17 +53,17 @@ func run(dataset string, scale float64, graphPath string, updates int, ratio, lo
 		if err != nil {
 			return err
 		}
+		// An .snap output selects the binary snapshot format, which
+		// cmd/incgraph and cmd/incgraphd load in parallel per shard.
+		if strings.HasSuffix(out, ".snap") {
+			return incgraph.WriteSnapshot(w, g)
+		}
 		return incgraph.WriteGraph(w, g)
 	case graphPath != "":
 		if updates <= 0 {
 			return fmt.Errorf("-updates must be positive")
 		}
-		f, err := os.Open(graphPath)
-		if err != nil {
-			return err
-		}
-		g, err := incgraph.ReadGraph(f)
-		f.Close()
+		g, err := incgraph.LoadGraphFile(graphPath)
 		if err != nil {
 			return err
 		}

@@ -1,15 +1,18 @@
 // Command incgraph evaluates a query on a graph file, optionally applies an
 // update file incrementally, and prints the answer and the delta.
 //
-// Graph files use the library text format ("n <id> <label>", "e <v> <w>").
-// Update files use one update per line: "+ <v> <w> [vlabel wlabel]" for an
-// insertion, "- <v> <w>" for a deletion.
+// Graph files use the library text format ("n <id> <label>", "e <v> <w>")
+// or the binary snapshot format (.snap, as written by cmd/datagen,
+// incgraph.WriteSnapshotFile, or an incgraphd checkpoint); the format is
+// sniffed, so a .snap file works anywhere a text graph does. Update files
+// use one update per line: "+ <v> <w> [vlabel wlabel]" for an insertion,
+// "- <v> <w>" for a deletion.
 //
 // Usage:
 //
 //	incgraph -graph g.txt -class rpq -query "a.b*.c" [-updates du.txt]
-//	incgraph -graph g.txt -class kws -query "author,venue" -bound 2
-//	incgraph -graph g.txt -class scc
+//	incgraph -graph g.snap -class kws -query "author,venue" -bound 2
+//	incgraph -graph g.txt -class scc [-shards 8] [-workers 8]
 //	incgraph -graph g.txt -class iso -pattern p.txt
 package main
 
@@ -32,16 +35,17 @@ func main() {
 	patternPath := flag.String("pattern", "", "iso pattern graph file")
 	updatesPath := flag.String("updates", "", "optional update file applied incrementally")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential)")
+	shards := flag.Int("shards", 0, "graph shard count, rounded to a power of two (0 = default, 1 = unsharded)")
 	verbose := flag.Bool("v", false, "print full answers, not just counts")
 	flag.Parse()
 
-	if err := run(*graphPath, *class, *query, *bound, *patternPath, *updatesPath, *workers, *verbose); err != nil {
+	if err := run(*graphPath, *class, *query, *bound, *patternPath, *updatesPath, *workers, *shards, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "incgraph: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, class, query string, bound int, patternPath, updatesPath string, workers int, verbose bool) error {
+func run(graphPath, class, query string, bound int, patternPath, updatesPath string, workers, shards int, verbose bool) error {
 	if graphPath == "" || class == "" {
 		return fmt.Errorf("-graph and -class are required")
 	}
@@ -50,7 +54,11 @@ func run(graphPath, class, query string, bound int, patternPath, updatesPath str
 		return err
 	}
 	g.SetParallelism(workers)
-	fmt.Printf("graph: %d nodes, %d edges (%d workers)\n", g.NumNodes(), g.NumEdges(), g.Parallelism())
+	if shards != 0 {
+		g.SetShards(shards)
+	}
+	fmt.Printf("graph: %d nodes, %d edges (%d workers, %d shards)\n",
+		g.NumNodes(), g.NumEdges(), g.Parallelism(), g.NumShards())
 
 	var batch incgraph.Batch
 	if updatesPath != "" {
@@ -159,13 +167,10 @@ func run(graphPath, class, query string, bound int, patternPath, updatesPath str
 	return nil
 }
 
+// loadGraph accepts both graph formats: binary snapshots load via the
+// parallel per-shard path, anything else parses as text.
 func loadGraph(path string) (*incgraph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return incgraph.ReadGraph(f)
+	return incgraph.LoadGraphFile(path)
 }
 
 func loadUpdates(path string) (incgraph.Batch, error) {

@@ -1,0 +1,209 @@
+// Command incgraphd is the long-lived serving daemon: it keeps a graph
+// and a set of standing queries (KWS, RPQ, SCC, ISO) maintained
+// incrementally under a continuous update stream, durably.
+//
+// Every committed batch is appended to a write-ahead log before it is
+// applied (fsync policy via -fsync), checkpoints fold the log into a
+// per-shard binary snapshot (on demand or past -checkpoint-bytes), and on
+// restart the daemon recovers by snapshot-load + WAL replay through the
+// engines' normal repair path — answers come back byte-identical to the
+// uninterrupted run, so a SIGKILL costs recovery time, never correctness.
+//
+// Usage:
+//
+//	incgraphd -store DIR [-graph g.txt|g.snap] [-addr :7421]
+//	          [-kws "a,b" -bound 2] [-rpq "a.b*.c"] [-iso pattern.txt] [-scc]
+//	          [-shards N] [-workers N] [-fsync always|none]
+//	          [-checkpoint-bytes N]
+//
+// On first start -graph seeds the store (text or .snap format, sniffed);
+// later starts recover from the store and ignore -graph. The standing
+// queries must be configured on every start (they are compiled state, not
+// stored state; the store holds the graph and its update history).
+//
+// The protocol is line-oriented over TCP — one command per line, one
+// "ok ..."/"err ..." reply line (answer dumps are multi-line, dot-
+// terminated). Updates are staged per connection and applied atomically
+// on commit:
+//
+//	"+ v w [vlabel wlabel]"  stage an edge insertion (labels for new nodes)
+//	"- v w"                  stage an edge deletion
+//	commit                   validate, log, apply the staged batch; report ΔO
+//	abort                    drop the staged batch
+//	query CLASS              answer cardinality for kws|rpq|scc|iso
+//	answer CLASS             full canonical answer, dot-terminated
+//	stat                     graph/WAL/engine counters
+//	checkpoint               force a snapshot + fresh WAL
+//	quit                     close the connection
+//
+// Reads are served under the read-parallel contract: queries take a read
+// lock and hit the engines' generation-stamped caches, so any number of
+// connections read concurrently between commits; commits and checkpoints
+// are exclusive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"incgraph"
+)
+
+func main() {
+	var (
+		storeDir  = flag.String("store", "", "store directory (required; created on first start)")
+		graphPath = flag.String("graph", "", "initial graph file, text or .snap (first start only)")
+		addr      = flag.String("addr", ":7421", "TCP listen address")
+		kwsQuery  = flag.String("kws", "", "standing KWS query: comma-separated keywords")
+		bound     = flag.Int("bound", 2, "KWS distance bound b")
+		rpqQuery  = flag.String("rpq", "", "standing RPQ query expression")
+		isoPath   = flag.String("iso", "", "standing ISO pattern graph file")
+		scc       = flag.Bool("scc", false, "maintain strongly connected components")
+		shards    = flag.Int("shards", 0, "graph shard count (0 = default; first start only)")
+		workers   = flag.Int("workers", 0, "engine worker pool size (0 = all cores)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|none")
+		ckptBytes = flag.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint when the WAL exceeds this size (0 = manual only)")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		storeDir:  *storeDir,
+		graphPath: *graphPath,
+		addr:      *addr,
+		kwsQuery:  *kwsQuery,
+		bound:     *bound,
+		rpqQuery:  *rpqQuery,
+		isoPath:   *isoPath,
+		scc:       *scc,
+		shards:    *shards,
+		workers:   *workers,
+		fsync:     *fsync,
+		ckptBytes: *ckptBytes,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "incgraphd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	storeDir, graphPath, addr   string
+	kwsQuery, rpqQuery, isoPath string
+	bound, shards, workers      int
+	scc                         bool
+	fsync                       string
+	ckptBytes                   int64
+}
+
+func run(cfg config) error {
+	if cfg.storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	var sync incgraph.SyncPolicy
+	switch strings.ToLower(cfg.fsync) {
+	case "always":
+		sync = incgraph.SyncAlways
+	case "none":
+		sync = incgraph.SyncNone
+	default:
+		return fmt.Errorf("unknown -fsync policy %q (want always|none)", cfg.fsync)
+	}
+	opts := incgraph.DurableOptions{Sync: sync}
+
+	// Open-or-create the durable state.
+	var d *incgraph.Durable
+	recovered := false
+	if incgraph.DurableExists(cfg.storeDir) {
+		var err error
+		d, err = incgraph.OpenDurable(cfg.storeDir, opts)
+		if err != nil {
+			return err
+		}
+		recovered = true
+	} else {
+		g := incgraph.NewGraph()
+		if cfg.graphPath != "" {
+			var err error
+			g, err = incgraph.LoadGraphFile(cfg.graphPath)
+			if err != nil {
+				return err
+			}
+		}
+		if cfg.shards != 0 {
+			g.SetShards(cfg.shards)
+		}
+		var err error
+		d, err = incgraph.CreateDurable(cfg.storeDir, g, opts)
+		if err != nil {
+			return err
+		}
+	}
+	d.Graph().SetParallelism(cfg.workers)
+
+	// Standing queries: build engines on clones of the (snapshot-time)
+	// graph, attach, then replay the WAL through them.
+	if cfg.kwsQuery != "" {
+		q := incgraph.KWSQuery{Keywords: strings.Split(cfg.kwsQuery, ","), Bound: cfg.bound}
+		ix, err := incgraph.NewKWS(d.Graph().Clone(), q)
+		if err != nil {
+			return fmt.Errorf("kws: %w", err)
+		}
+		if err := d.Attach(incgraph.MaintainKWS(ix)); err != nil {
+			return err
+		}
+	}
+	if cfg.rpqQuery != "" {
+		e, err := incgraph.NewRPQ(d.Graph().Clone(), cfg.rpqQuery)
+		if err != nil {
+			return fmt.Errorf("rpq: %w", err)
+		}
+		if err := d.Attach(incgraph.MaintainRPQ(e)); err != nil {
+			return err
+		}
+	}
+	if cfg.isoPath != "" {
+		pg, err := incgraph.LoadGraphFile(cfg.isoPath)
+		if err != nil {
+			return fmt.Errorf("iso: %w", err)
+		}
+		p, err := incgraph.NewPattern(pg)
+		if err != nil {
+			return fmt.Errorf("iso: %w", err)
+		}
+		if err := d.Attach(incgraph.MaintainISO(incgraph.NewISO(d.Graph().Clone(), p))); err != nil {
+			return err
+		}
+	}
+	if cfg.scc {
+		if err := d.Attach(incgraph.MaintainSCC(incgraph.NewSCC(d.Graph().Clone()))); err != nil {
+			return err
+		}
+	}
+	if err := d.Recover(); err != nil {
+		return err
+	}
+	if recovered {
+		log.Printf("recovered store %s: %d nodes, %d edges, gen %d, WAL seq %d",
+			cfg.storeDir, d.Graph().NumNodes(), d.Graph().NumEdges(), d.Generation(), d.WALSeq())
+	} else {
+		log.Printf("created store %s: %d nodes, %d edges (%d shards)",
+			cfg.storeDir, d.Graph().NumNodes(), d.Graph().NumEdges(), d.Graph().NumShards())
+	}
+	for _, m := range d.Engines() {
+		log.Printf("standing query %s: %d answers", m.Class(), m.Size())
+	}
+
+	srv := newServer(d, cfg.ckptBytes)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	return srv.serve(cfg.addr, stop)
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"incgraph"
+)
+
+// server multiplexes the line protocol over one Durable. Locking follows
+// the substrate's read-parallel contract: commit and checkpoint take the
+// write lock (mutation is exclusive), queries take the read lock and are
+// served from the engines' generation-stamped answer caches, so
+// connections read concurrently between commits.
+type server struct {
+	mu sync.RWMutex
+	d  *incgraph.Durable
+	// ckptBytes auto-checkpoints after a commit grows the WAL past it.
+	ckptBytes int64
+	byClass   map[string]incgraph.Maintained
+	// connMu/conns track live connections so shutdown can cut idle
+	// readers instead of waiting for clients to hang up.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+func newServer(d *incgraph.Durable, ckptBytes int64) *server {
+	byClass := make(map[string]incgraph.Maintained, len(d.Engines()))
+	for _, m := range d.Engines() {
+		byClass[m.Class()] = m
+	}
+	return &server{d: d, ckptBytes: ckptBytes, byClass: byClass, conns: make(map[net.Conn]struct{})}
+}
+
+// track registers or unregisters a live connection.
+func (s *server) track(conn net.Conn, add bool) {
+	s.connMu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.connMu.Unlock()
+}
+
+// closeConns cuts every live connection (shutdown path).
+func (s *server) closeConns() {
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// serve accepts connections until a signal arrives, then closes the
+// listener and the WAL. In-flight connections are cut; every acknowledged
+// commit is already on disk, so an abrupt stop is as safe as a crash.
+func (s *server) serve(addr string, stop <-chan struct{}) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s", ln.Addr())
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		close(done)
+		ln.Close()
+		s.closeConns()
+	}()
+	var wg sync.WaitGroup
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-done:
+				wg.Wait()
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				log.Printf("shutting down (gen %d, WAL seq %d)", s.d.Generation(), s.d.WALSeq())
+				return s.d.Close()
+			default:
+			}
+			// Transient accept failures (ECONNABORTED, EMFILE under a
+			// connection burst) must not kill a long-lived daemon: back
+			// off and retry; the condition clears as connections close.
+			log.Printf("accept: %v (retrying in %v)", err, backoff)
+			select {
+			case <-done:
+				continue // drain via the shutdown branch above
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *server) handle(conn net.Conn) {
+	s.track(conn, true)
+	defer func() {
+		s.track(conn, false)
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	out := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) bool {
+		fmt.Fprintf(out, format+"\n", args...)
+		return out.Flush() == nil
+	}
+	var pending incgraph.Batch
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "+", "-":
+			u, err := parseUpdate(fields)
+			if err != nil {
+				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			pending = append(pending, u)
+			if !reply("ok staged %d", len(pending)) {
+				return
+			}
+		case "abort":
+			n := len(pending)
+			pending = nil
+			if !reply("ok aborted %d", n) {
+				return
+			}
+		case "commit":
+			batch := pending
+			pending = nil
+			if !s.commit(batch, reply) {
+				return
+			}
+		case "query", "answer":
+			if len(fields) != 2 {
+				if !reply("err usage: %s CLASS", fields[0]) {
+					return
+				}
+				continue
+			}
+			if !s.read(fields[0], fields[1], out, reply) {
+				return
+			}
+		case "stat":
+			if !s.stat(reply) {
+				return
+			}
+		case "checkpoint":
+			s.mu.Lock()
+			err := s.d.Checkpoint()
+			epoch := s.d.Epoch()
+			s.mu.Unlock()
+			if err != nil {
+				if !reply("err checkpoint: %v", err) {
+					return
+				}
+				continue
+			}
+			if !reply("ok checkpoint epoch=%d", epoch) {
+				return
+			}
+		case "quit":
+			reply("ok bye")
+			return
+		default:
+			if !reply("err unknown command %q", fields[0]) {
+				return
+			}
+		}
+	}
+}
+
+// commit applies one staged batch under the write lock and reports ΔO per
+// class, then auto-checkpoints past the WAL threshold.
+func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) bool {
+	if len(batch) == 0 {
+		return reply("err nothing staged")
+	}
+	s.mu.Lock()
+	sums, err := s.d.Apply(batch)
+	gen, walBytes := s.d.Generation(), s.d.WALBytes()
+	if err == nil && s.ckptBytes > 0 && walBytes > s.ckptBytes {
+		if cerr := s.d.Checkpoint(); cerr != nil {
+			log.Printf("auto-checkpoint failed: %v", cerr)
+		} else {
+			log.Printf("auto-checkpoint at WAL %d bytes (epoch %d)", walBytes, s.d.Epoch())
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return reply("err commit: %v", err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ok applied %d gen=%d", len(batch), gen)
+	for i, m := range s.d.Engines() {
+		fmt.Fprintf(&sb, " %s=%s", m.Class(), sums[i])
+	}
+	return reply("%s", sb.String())
+}
+
+// read serves "query" (cardinality) and "answer" (full canonical dump).
+// The read lock covers only the in-memory render — never the socket
+// writes, so a stalled client can't hold the lock and wedge commits (and,
+// through the RWMutex writer queue, every other reader).
+func (s *server) read(cmd, class string, out *bufio.Writer, reply func(string, ...any) bool) bool {
+	m, ok := s.byClass[class]
+	if !ok {
+		return reply("err no standing query for class %q", class)
+	}
+	s.mu.RLock()
+	size := m.Size()
+	var dump bytes.Buffer
+	var err error
+	if cmd == "answer" {
+		err = m.WriteAnswer(&dump)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		return reply("err answer %s: %v", class, err)
+	}
+	if !reply("ok %s %d", class, size) {
+		return false
+	}
+	if cmd == "query" {
+		return true
+	}
+	if _, err := out.Write(dump.Bytes()); err != nil {
+		return false
+	}
+	fmt.Fprintln(out, ".")
+	return out.Flush() == nil
+}
+
+func (s *server) stat(reply func(string, ...any) bool) bool {
+	classes := make([]string, 0, len(s.d.Engines()))
+	for _, m := range s.d.Engines() {
+		classes = append(classes, m.Class())
+	}
+	// Render under the read lock, write to the socket after (see read).
+	s.mu.RLock()
+	g := s.d.Graph()
+	line := fmt.Sprintf("ok nodes=%d edges=%d gen=%d shards=%d epoch=%d walseq=%d walbytes=%d classes=%s",
+		g.NumNodes(), g.NumEdges(), g.Generation(), g.NumShards(),
+		s.d.Epoch(), s.d.WALSeq(), s.d.WALBytes(), strings.Join(classes, ","))
+	s.mu.RUnlock()
+	return reply("%s", line)
+}
+
+// parseUpdate decodes "+ v w [vlabel wlabel]" / "- v w" (the update-file
+// format of cmd/incgraph).
+func parseUpdate(fields []string) (incgraph.Update, error) {
+	if len(fields) < 3 {
+		return incgraph.Update{}, fmt.Errorf("want '+|- v w [vlabel wlabel]'")
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return incgraph.Update{}, fmt.Errorf("bad source id: %v", err)
+	}
+	w, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return incgraph.Update{}, fmt.Errorf("bad target id: %v", err)
+	}
+	if fields[0] == "-" {
+		return incgraph.Del(incgraph.NodeID(v), incgraph.NodeID(w)), nil
+	}
+	vl, wl := "", ""
+	if len(fields) > 3 {
+		vl = fields[3]
+	}
+	if len(fields) > 4 {
+		wl = fields[4]
+	}
+	return incgraph.InsNew(incgraph.NodeID(v), incgraph.NodeID(w), vl, wl), nil
+}

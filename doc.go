@@ -89,6 +89,44 @@
 // Clones inherit the setting, so configuring the base graph configures
 // every engine built on it.
 //
+// # Durability
+//
+// The maintained state survives restarts (internal/store, surfaced here
+// as Durable):
+//
+//   - Snapshots. WriteSnapshot serializes the graph in a versioned binary
+//     format, one independently-encoded segment per shard behind a
+//     manifest header (shard count, generation, label table, per-segment
+//     CRC-32). Segments encode and load in parallel, and a load restores
+//     the graph exactly — node set, labels, adjacency, dense-slot
+//     assignment, mutation generation — so engines built on a loaded
+//     graph behave byte-identically to engines built on the original.
+//     The format is versioned by a magic+version header; readers reject
+//     unknown versions rather than guessing.
+//   - Write-ahead log. A Durable validates each batch ΔG, appends it to a
+//     length+CRC-framed log, and only then applies it to the graph and the
+//     attached engines. The fsync policy is explicit: SyncAlways (the
+//     default) makes every acknowledged batch survive power failure;
+//     SyncNone trades bounded loss for append throughput.
+//   - Recovery. OpenDurable loads the snapshot, the caller rebuilds its
+//     engines on clones of it, and Recover replays the WAL's valid record
+//     prefix through the engines' normal Apply path — repairs run exactly
+//     as they did the first time, so every answer (Maintained.WriteAnswer)
+//     is byte-identical to the uninterrupted run, at any worker or shard
+//     count. A torn or corrupt WAL tail — the signature of a crash mid-
+//     append — is truncated, never fatal.
+//   - Checkpoints. Checkpoint folds the log into a fresh snapshot under a
+//     new epoch and commits the pair via an atomically-renamed manifest;
+//     a crash at any instant leaves either the old pair or the new pair
+//     fully intact.
+//
+// cmd/incgraphd is the long-lived server built on this subsystem: it
+// ingests "+/-" update streams over a line protocol, serves rpq/kws/scc/
+// iso answers from the generation-stamped caches under the read-parallel
+// contract, and checkpoints on demand or past a WAL-size threshold. The
+// CLI tools accept .snap files anywhere a text graph is accepted
+// (LoadGraphFile sniffs the format).
+//
 // The facade in this package re-exports the library's types and
 // constructors; the implementations live in internal packages:
 //
@@ -102,6 +140,7 @@
 //	internal/reduction  executable ∆-reductions from the Theorem 1 proofs
 //	internal/gen        dataset simulators, update and query generators
 //	internal/bench      the harness that regenerates the paper's figures
+//	internal/store      per-shard snapshots, the WAL, checkpoint/recover
 //
 // A minimal session:
 //

@@ -1,0 +1,232 @@
+package incgraph
+
+import (
+	"fmt"
+	"io"
+
+	"incgraph/internal/store"
+)
+
+// Durability. A Durable couples one graph's on-disk store — a per-shard
+// binary snapshot plus a write-ahead log of every batch applied since (see
+// internal/store for the formats) — with the maintained engines serving
+// answers over that graph. The contract:
+//
+//   - Apply is write-ahead: the batch is validated, appended to the WAL
+//     (fsynced per the SyncPolicy), and only then applied to the base
+//     graph and every attached engine. A crash after the append replays
+//     the batch on recovery; a crash during it leaves a torn tail that
+//     recovery truncates. Acknowledged batches are never lost under
+//     SyncAlways.
+//   - Checkpoint folds the WAL into a fresh snapshot (written atomically,
+//     manifest-committed) and starts an empty log.
+//   - OpenDurable + Recover rebuilds everything: the snapshot loads into
+//     an identical graph (slot assignment included), engines are built on
+//     clones of it exactly as on first boot, and the WAL's batches replay
+//     through the engines' normal Apply path — so every maintained answer
+//     comes back byte-identical (WriteAnswer) to the uninterrupted run, at
+//     any worker or shard count.
+//
+// Concurrency: Apply, Checkpoint, Recover and Close require exclusive
+// access (they mutate). Between them the attached engines are
+// read-shareable per the usual contract — Apply runs
+// PrepareConcurrentReads on every engine graph before returning, so
+// concurrent readers (e.g. incgraphd query handlers) can start
+// immediately.
+
+// SyncPolicy selects when the write-ahead log fsyncs; see the constants.
+type SyncPolicy = store.SyncPolicy
+
+const (
+	// SyncAlways fsyncs the WAL after every Apply: acknowledged batches
+	// survive OS and power failure. The default.
+	SyncAlways = store.SyncAlways
+	// SyncNone leaves WAL flushing to the OS: bounded loss on power
+	// failure, much higher ingest throughput.
+	SyncNone = store.SyncNone
+)
+
+// DurableOptions tunes a Durable.
+type DurableOptions struct {
+	// Sync is the WAL fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+}
+
+// Durable is a graph store plus the engines maintained in lockstep with it.
+type Durable struct {
+	st      *store.Store
+	base    *Graph
+	engines []Maintained
+	// pending holds WAL records recovered by OpenDurable until Recover
+	// replays them; non-nil means Apply must refuse (recovery incomplete).
+	pending  []store.ReplayRecord
+	replayed bool
+}
+
+// CreateDurable initializes a new store at dir from the current state of
+// g and returns a Durable owning g as its base graph. Engines built on
+// clones of g (NewKWS(g.Clone(), ...) etc.) should be attached with
+// Attach before the first Apply.
+func CreateDurable(dir string, g *Graph, opts DurableOptions) (*Durable, error) {
+	st, err := store.Create(dir, g, store.Options{Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	return &Durable{st: st, base: g, replayed: true}, nil
+}
+
+// OpenDurable opens the store at dir and loads its snapshot. The returned
+// Durable is mid-recovery: build engines on clones of Graph() (which is
+// the snapshot-time graph), Attach them, then call Recover to replay the
+// WAL through every engine's normal Apply path. Apply refuses until
+// Recover has run.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	st, g, records, err := store.Open(dir, store.Options{Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	return &Durable{st: st, base: g, pending: records}, nil
+}
+
+// DurableExists reports whether dir holds a store a previous run created.
+func DurableExists(dir string) bool { return store.Exists(dir) }
+
+// Graph returns the base graph: after CreateDurable, the graph the store
+// was created from; after OpenDurable (before Recover), the snapshot-time
+// graph engines should be built on.
+func (d *Durable) Graph() *Graph { return d.base }
+
+// Attach registers an engine to be kept in lockstep: Apply will apply
+// every batch to it, and Recover will replay the WAL through it. The
+// engine must have been built on a clone of Graph() (sharing the base
+// graph itself would double-apply every batch).
+func (d *Durable) Attach(ms ...Maintained) error {
+	for _, m := range ms {
+		if m.Graph() == d.base {
+			return fmt.Errorf("incgraph: Attach(%s): engine shares the base graph; build it on Graph().Clone()", m.Class())
+		}
+		d.engines = append(d.engines, m)
+	}
+	return nil
+}
+
+// Engines returns the attached engines, in attach order.
+func (d *Durable) Engines() []Maintained { return d.engines }
+
+// Recover replays the WAL records recovered by OpenDurable through the
+// base graph and every attached engine, in log order, completing crash
+// recovery. It is a no-op on a freshly created store. Engines attached
+// after Recover has run would miss the replayed batches, so attach first.
+func (d *Durable) Recover() error {
+	if d.replayed {
+		return nil
+	}
+	for _, rec := range d.pending {
+		if err := d.applyAll(rec.Batch); err != nil {
+			return fmt.Errorf("incgraph: recovery replay of WAL record %d: %w", rec.Seq, err)
+		}
+	}
+	d.pending = nil
+	d.replayed = true
+	return nil
+}
+
+// applyAll applies b to the base graph and every engine, then flushes the
+// sorted caches so readers can fan out immediately.
+func (d *Durable) applyAll(b Batch) error {
+	if err := d.base.ApplyBatch(b); err != nil {
+		return err
+	}
+	for _, m := range d.engines {
+		if _, err := m.Apply(b); err != nil {
+			return fmt.Errorf("%s: %w", m.Class(), err)
+		}
+		m.Graph().PrepareConcurrentReads()
+	}
+	d.base.PrepareConcurrentReads()
+	return nil
+}
+
+// Apply validates b, appends it to the write-ahead log, and applies it to
+// the base graph and every attached engine, returning the per-engine
+// summaries in attach order. Validation happens before the append, so a
+// logged batch is always replayable and a rejected batch changes nothing.
+func (d *Durable) Apply(b Batch) ([]DeltaSummary, error) {
+	if !d.replayed {
+		return nil, fmt.Errorf("incgraph: Apply before Recover: WAL replay pending")
+	}
+	if err := d.base.ValidateBatch(b); err != nil {
+		return nil, err
+	}
+	if err := d.st.Append(b, d.base.Generation()); err != nil {
+		return nil, fmt.Errorf("incgraph: WAL append: %w", err)
+	}
+	if err := d.base.ApplyBatch(b); err != nil {
+		// Unreachable after validation; surface loudly if it ever happens.
+		return nil, fmt.Errorf("incgraph: validated batch failed to apply: %w", err)
+	}
+	sums := make([]DeltaSummary, len(d.engines))
+	for i, m := range d.engines {
+		sum, err := m.Apply(b)
+		if err != nil {
+			return nil, fmt.Errorf("incgraph: engine %s diverged on validated batch: %w", m.Class(), err)
+		}
+		sums[i] = sum
+		m.Graph().PrepareConcurrentReads()
+	}
+	d.base.PrepareConcurrentReads()
+	return sums, nil
+}
+
+// Checkpoint makes the current state the durable baseline: a fresh
+// per-shard snapshot of the base graph, an empty WAL, and removal of the
+// superseded files. Recovery time drops to a snapshot load.
+func (d *Durable) Checkpoint() error {
+	if !d.replayed {
+		return fmt.Errorf("incgraph: Checkpoint before Recover: WAL replay pending")
+	}
+	return d.st.Checkpoint(d.base)
+}
+
+// WALBytes returns the write-ahead log's current size: the natural
+// auto-checkpoint threshold signal.
+func (d *Durable) WALBytes() int64 { return d.st.WALSize() }
+
+// WALSeq returns the sequence number of the last logged batch.
+func (d *Durable) WALSeq() uint64 { return d.st.WALSeq() }
+
+// Epoch returns the checkpoint epoch (1 on a fresh store, +1 per
+// Checkpoint).
+func (d *Durable) Epoch() uint64 { return d.st.Epoch() }
+
+// Generation returns the base graph's mutation generation.
+func (d *Durable) Generation() uint64 { return d.base.Generation() }
+
+// Close closes the write-ahead log. The store remains openable.
+func (d *Durable) Close() error { return d.st.Close() }
+
+// Snapshot I/O, re-exported for callers that want graph persistence
+// without a store directory (the CLI tools accept .snap files anywhere a
+// text graph is accepted).
+
+// WriteSnapshot serializes g in the versioned per-shard binary snapshot
+// format (see internal/store). Deterministic: identical graphs produce
+// identical bytes.
+func WriteSnapshot(w io.Writer, g *Graph) error { return store.WriteSnapshot(w, g) }
+
+// WriteSnapshotFile writes a snapshot atomically (temp file + rename).
+func WriteSnapshotFile(path string, g *Graph) error { return store.WriteSnapshotFile(path, g) }
+
+// ReadSnapshotFile loads a snapshot file into an identical graph — shard
+// count, slot assignment and mutation generation included — loading
+// segments in parallel.
+func ReadSnapshotFile(path string) (*Graph, error) { return store.ReadSnapshotFile(path) }
+
+// LoadGraphFile loads a graph from path in either supported format,
+// sniffing the snapshot magic: .snap files load via ReadSnapshotFile,
+// anything else parses as the line-oriented text format.
+func LoadGraphFile(path string) (*Graph, error) { return store.ReadGraphFile(path) }
+
+// ValidateBatch reports whether ApplyBatch(b) would succeed on g, without
+// mutating anything; see graph.ValidateBatch.
+func ValidateBatch(g *Graph, b Batch) error { return g.ValidateBatch(b) }

@@ -519,6 +519,7 @@ var registry = map[string]func(Config) (*Result, error){
 	"unit":     figUnit,
 	"opt":      figOpt,
 	"ablation": figAblation,
+	"store":    figStore,
 }
 
 // figAblation measures the design choices DESIGN.md calls out: the

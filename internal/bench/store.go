@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/store"
+)
+
+// figStore measures the durability subsystem's reason to exist: loading a
+// per-shard binary snapshot versus rebuilding the same graph from the
+// text format, across graph sizes up to several hundred thousand nodes.
+// Both sides deserialize from memory, so the comparison isolates decode
+// and graph-construction cost from disk bandwidth. snap-load fans out
+// across shards (graph.ParallelFor per segment); text-read is the
+// line-by-line AddNode/AddEdge rebuild every process start paid before
+// this subsystem existed.
+func figStore(cfg Config) (*Result, error) {
+	sizes := clip(cfg, []int{50_000, 100_000, 200_000})
+	res := &Result{
+		ID:     "store",
+		Title:  "snapshot load vs text rebuild (synthetic, |E| = 5|V|)",
+		XLabel: "|V|",
+	}
+	textRead := Series{Name: "text-read", Seconds: make([]float64, len(sizes))}
+	snapLoad := Series{Name: "snap-load", Seconds: make([]float64, len(sizes))}
+	var sizeNote string
+	for i, n := range sizes {
+		nodes := int(float64(n) * cfg.scale())
+		g := cfg.tune(gen.Synthetic(gen.GraphSpec{
+			Nodes:        nodes,
+			Edges:        5 * nodes,
+			Labels:       50,
+			GiantSCCFrac: 0.3,
+			Seed:         cfg.Seed,
+		}))
+		res.X = append(res.X, fmt.Sprintf("%d", g.NumNodes()))
+
+		var text, snap bytes.Buffer
+		if err := graph.Write(&text, g); err != nil {
+			return nil, err
+		}
+		if err := store.WriteSnapshot(&snap, g); err != nil {
+			return nil, err
+		}
+
+		secs, err := timed(func() error {
+			h, err := graph.Read(bytes.NewReader(text.Bytes()))
+			if err == nil && h.NumNodes() != g.NumNodes() {
+				err = fmt.Errorf("text read lost nodes")
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		textRead.Seconds[i] = secs
+
+		secs, err = timed(func() error {
+			h, err := store.ReadSnapshot(bytes.NewReader(snap.Bytes()), int64(snap.Len()))
+			if err == nil && h.NumNodes() != g.NumNodes() {
+				err = fmt.Errorf("snapshot load lost nodes")
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		snapLoad.Seconds[i] = secs
+		sizeNote = fmt.Sprintf("at |V|=%d: text %d bytes, snap %d bytes", g.NumNodes(), text.Len(), snap.Len())
+	}
+	res.Series = []Series{textRead, snapLoad}
+	var tot float64
+	for i := range sizes {
+		if snapLoad.Seconds[i] > 0 {
+			tot += textRead.Seconds[i] / snapLoad.Seconds[i]
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("snap-load vs text-read: avg speedup %.1fx over the sweep", tot/float64(len(sizes))),
+		sizeNote)
+	return res, nil
+}

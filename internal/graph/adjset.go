@@ -154,6 +154,21 @@ func (a *adjSet) sorted() []NodeID {
 	return a.list
 }
 
+// adjSetFromSorted builds a set from an ascending member list, taking
+// ownership of the slice. Large sets promote to map mode immediately, with
+// the list retained as the (clean) sorted cache — exactly the state an
+// equivalent sequence of adds followed by sorted() would reach.
+func adjSetFromSorted(list []NodeID) adjSet {
+	a := adjSet{list: list}
+	if len(list) > promoteDegree {
+		a.set = make(map[NodeID]struct{}, len(list))
+		for _, v := range list {
+			a.set[v] = struct{}{}
+		}
+	}
+	return a
+}
+
 // clone returns a deep copy.
 func (a *adjSet) clone() adjSet {
 	c := adjSet{dirty: a.dirty}

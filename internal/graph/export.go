@@ -1,0 +1,212 @@
+package graph
+
+import "fmt"
+
+// Per-shard state export and import. This is the substrate half of the
+// durability subsystem (internal/store): a snapshot serializes each shard
+// independently — node table, dense-slot allocator, adjacency — and a load
+// reconstructs the shards in parallel, then finishes the graph-global
+// state (inverted label index, edge count, slot ceiling) serially. The
+// round trip restores the graph exactly, slot assignment included, so
+// traversal schedules, scratch sizing and every downstream answer are
+// identical to the pre-snapshot graph. The shard is also the intended unit
+// of a future multi-process deployment: the same per-shard encoding a
+// snapshot writes to disk is what a distributed incgraph would ship over
+// RPC.
+//
+// Contract: ExportShard reads are safe whenever the graph is
+// read-shareable (between mutations); distinct shards may be exported
+// concurrently. LoadShard writes only shard-owned state, so distinct
+// shards of a fresh graph may load concurrently (ParallelFor in
+// internal/store does exactly that); FinishLoad then runs exactly once,
+// serially, after every LoadShard completed.
+
+// ShardNodeState is the serializable state of one node: identity, interned
+// label, dense slot, and both adjacency directions in ascending order.
+type ShardNodeState struct {
+	ID    NodeID
+	Label LabelID
+	// Slot is the node's global dense slot (local·P + shard).
+	Slot int32
+	// Out and In list the adjacency ascending. On export the slices are
+	// borrowed from the graph (valid until the next mutation); on load
+	// ownership transfers to the graph.
+	Out, In []NodeID
+}
+
+// ShardState is the serializable state of one shard: its nodes in
+// ascending ID order (the stable encode order of the snapshot format) and
+// its dense-slot allocator.
+type ShardState struct {
+	// Nodes is ascending by ID.
+	Nodes []ShardNodeState
+	// SlotCap is the number of local slot indices ever issued.
+	SlotCap int32
+	// Free lists the recycled local slot indices (order preserved: it is
+	// allocator state, popped LIFO).
+	Free []int32
+}
+
+// ExportShard returns the state of shard s in the stable encode order
+// (nodes ascending by ID, adjacency ascending). The adjacency slices are
+// borrowed from the graph: valid until the next mutation, do not mutate.
+// The free-list slice is copied.
+func (g *Graph) ExportShard(s int) ShardState {
+	sh := &g.shards[s]
+	st := ShardState{
+		Nodes:   make([]ShardNodeState, 0, len(sh.nodes)),
+		SlotCap: sh.slotCap,
+	}
+	if len(sh.free) > 0 {
+		st.Free = make([]int32, len(sh.free))
+		copy(st.Free, sh.free)
+	}
+	for _, v := range g.ShardNodesSorted(s) {
+		rec := sh.nodes[v]
+		st.Nodes = append(st.Nodes, ShardNodeState{
+			ID:    v,
+			Label: rec.label,
+			Slot:  rec.slot,
+			Out:   rec.out.sorted(),
+			In:    rec.in.sorted(),
+		})
+	}
+	return st
+}
+
+// LoadShard installs st as the complete state of shard s. The graph must
+// be freshly created (NewSharded) and shard s must not have been loaded
+// before. It writes only shard-owned state, so distinct shards may load
+// concurrently; call FinishLoad once afterwards to rebuild the
+// graph-global indexes. Adjacency slices in st transfer ownership to the
+// graph.
+func (g *Graph) LoadShard(s int, st ShardState) error {
+	if s < 0 || s >= len(g.shards) {
+		return fmt.Errorf("graph: LoadShard: shard %d out of range [0,%d)", s, len(g.shards))
+	}
+	sh := &g.shards[s]
+	if len(sh.nodes) != 0 {
+		return fmt.Errorf("graph: LoadShard: shard %d already populated", s)
+	}
+	// Allocator invariant: every local slot ever issued is either held by
+	// a live node or parked on the free list, so the cap is exactly their
+	// sum. Enforcing it both rejects corrupt state and bounds the
+	// used-slot table below by the size of the decoded data.
+	if int(st.SlotCap) != len(st.Nodes)+len(st.Free) {
+		return fmt.Errorf("graph: LoadShard: shard %d slot cap %d != %d nodes + %d free",
+			s, st.SlotCap, len(st.Nodes), len(st.Free))
+	}
+	p := int32(len(g.shards))
+	// used tracks local slot occupancy: a duplicate would alias two nodes
+	// onto one epoch-stamped scratch slot and silently corrupt traversals.
+	used := make([]bool, st.SlotCap)
+	claim := func(local int32) bool {
+		if local < 0 || local >= st.SlotCap || used[local] {
+			return false
+		}
+		used[local] = true
+		return true
+	}
+	for _, f := range st.Free {
+		if !claim(f) {
+			return fmt.Errorf("graph: LoadShard: shard %d free list has invalid or duplicate slot %d", s, f)
+		}
+	}
+	sh.slotCap = st.SlotCap
+	if len(st.Free) > 0 {
+		sh.free = make([]int32, len(st.Free))
+		copy(sh.free, st.Free)
+	}
+	var prev NodeID
+	for i, n := range st.Nodes {
+		if i > 0 && n.ID <= prev {
+			return fmt.Errorf("graph: LoadShard: shard %d nodes not ascending at %d", s, n.ID)
+		}
+		prev = n.ID
+		if int(g.shardIdxOf(n.ID)) != s {
+			return fmt.Errorf("graph: LoadShard: node %d does not hash to shard %d", n.ID, s)
+		}
+		if n.Slot < 0 || n.Slot%p != int32(s) || !claim(n.Slot/p) {
+			return fmt.Errorf("graph: LoadShard: node %d has invalid or duplicate slot %d for shard %d", n.ID, n.Slot, s)
+		}
+		if !ascending(n.Out) || !ascending(n.In) {
+			return fmt.Errorf("graph: LoadShard: node %d adjacency not strictly ascending", n.ID)
+		}
+		sh.nodes[n.ID] = &node{
+			label: n.Label,
+			slot:  n.Slot,
+			out:   adjSetFromSorted(n.Out),
+			in:    adjSetFromSorted(n.In),
+		}
+	}
+	return nil
+}
+
+// ascending reports whether vs is strictly ascending.
+func ascending(vs []NodeID) bool {
+	for i := 1; i < len(vs); i++ {
+		if vs[i] <= vs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// FinishLoad completes a per-shard load: it rebuilds the inverted label
+// index and the edge count from the loaded node records, restores the slot
+// ceiling, and stamps the graph with the snapshot's mutation generation.
+// Call it exactly once, serially, after every LoadShard returned.
+func (g *Graph) FinishLoad(gen uint64) error {
+	edges, inEdges := 0, 0
+	for s := range g.shards {
+		sh := &g.shards[s]
+		for _, v := range g.ShardNodesSorted(s) {
+			rec := sh.nodes[v]
+			g.labelIndexAdd(rec.label, v)
+			edges += rec.out.len()
+			inEdges += rec.in.len()
+		}
+	}
+	if edges != inEdges {
+		return fmt.Errorf("graph: FinishLoad: out-degree sum %d != in-degree sum %d", edges, inEdges)
+	}
+	g.edges = edges
+	g.refreshSlotCeil()
+	g.gen = gen
+	// The label index was just built with mutating adds; leave no stale
+	// dirty queue behind for the first concurrent read.
+	g.PrepareConcurrentReads()
+	return nil
+}
+
+// ValidateBatch reports whether ApplyBatch(b) would succeed against the
+// current graph, without mutating it: the same sequential applicability
+// rule Apply enforces (no insertion of an existing edge, no deletion of a
+// missing one, tracked through the running in-batch state). The durability
+// layer validates a batch before appending it to the write-ahead log, so a
+// logged batch is always replayable.
+func (g *Graph) ValidateBatch(b Batch) error {
+	exists := make(map[Edge]bool, len(b))
+	for i, u := range b {
+		e := u.Edge()
+		cur, seen := exists[e]
+		if !seen {
+			cur = g.HasEdge(u.From, u.To)
+		}
+		switch u.Op {
+		case Insert:
+			if cur {
+				return fmt.Errorf("update %d: %w: insert of existing edge (%d,%d)", i, ErrBadUpdate, u.From, u.To)
+			}
+			exists[e] = true
+		case Delete:
+			if !cur {
+				return fmt.Errorf("update %d: %w: delete of missing edge (%d,%d)", i, ErrBadUpdate, u.From, u.To)
+			}
+			exists[e] = false
+		default:
+			return fmt.Errorf("update %d: %w: unknown op %v", i, ErrBadUpdate, u.Op)
+		}
+	}
+	return nil
+}

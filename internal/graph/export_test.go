@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// exportLoadRoundTrip exports every shard of g and reloads them into a
+// fresh graph with the same shard count, mimicking what a snapshot load
+// does (including concurrent per-shard loads).
+func exportLoadRoundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	p := g.NumShards()
+	states := make([]ShardState, p)
+	for s := 0; s < p; s++ {
+		st := g.ExportShard(s)
+		// Deep-copy the borrowed adjacency so the load owns its slices, as
+		// a decoded snapshot segment would.
+		for i := range st.Nodes {
+			st.Nodes[i].Out = append([]NodeID(nil), st.Nodes[i].Out...)
+			st.Nodes[i].In = append([]NodeID(nil), st.Nodes[i].In...)
+		}
+		states[s] = st
+	}
+	h := NewSharded(p)
+	ParallelFor(4, p, func(_, s int) {
+		if err := h.LoadShard(s, states[s]); err != nil {
+			panic(err)
+		}
+	})
+	if err := h.FinishLoad(g.Generation()); err != nil {
+		t.Fatalf("FinishLoad: %v", err)
+	}
+	return h
+}
+
+func TestExportLoadRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			g := NewSharded(shards)
+			for v := 0; v < 300; v++ {
+				g.AddNode(NodeID(v), fmt.Sprintf("l%d", v%7))
+			}
+			for i := 0; i < 1500; i++ {
+				v, w := NodeID(rng.Intn(300)), NodeID(rng.Intn(300))
+				g.AddEdge(v, w)
+			}
+			// Deletions exercise the free list so allocator state round-trips.
+			for v := 0; v < 40; v++ {
+				g.DeleteNode(NodeID(v * 7 % 300))
+			}
+			h := exportLoadRoundTrip(t, g)
+			if !g.Equal(h) {
+				t.Fatal("round trip lost graph state")
+			}
+			if got, want := h.Generation(), g.Generation(); got != want {
+				t.Fatalf("generation: got %d want %d", got, want)
+			}
+			// Slot assignment must be restored exactly: allocating the next
+			// node must pick the same slot in both graphs.
+			g.AddNode(10_000, "fresh")
+			h.AddNode(10_000, "fresh")
+			if gs, hs := g.rec(10_000).slot, h.rec(10_000).slot; gs != hs {
+				t.Fatalf("slot divergence after load: got %d want %d", hs, gs)
+			}
+			// And the rest of every shard's node table slots must match.
+			g.Nodes(func(v NodeID, _ string) bool {
+				if g.rec(v).slot != h.rec(v).slot {
+					t.Fatalf("node %d slot mismatch", v)
+				}
+				return true
+			})
+		})
+	}
+}
+
+func TestLoadShardRejectsBadState(t *testing.T) {
+	g := NewSharded(4)
+	g.AddNode(1, "a")
+	st := g.ExportShard(g.ShardOf(1))
+
+	h := NewSharded(4)
+	wrong := (g.ShardOf(1) + 1) % 4
+	if err := h.LoadShard(wrong, st); err == nil {
+		t.Fatal("want error loading node into wrong shard")
+	}
+	h = NewSharded(4)
+	bad := st
+	bad.Nodes = append([]ShardNodeState(nil), st.Nodes...)
+	bad.Nodes[0].Slot = bad.Nodes[0].Slot + 1 // breaks slot%P == shard
+	if err := h.LoadShard(g.ShardOf(1), bad); err == nil {
+		t.Fatal("want error for invalid slot")
+	}
+	h = NewSharded(2)
+	if err := h.LoadShard(0, ShardState{}); err != nil {
+		t.Fatalf("empty shard state should load: %v", err)
+	}
+	if err := h.LoadShard(5, ShardState{}); err == nil {
+		t.Fatal("want error for out-of-range shard")
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	g := New()
+	g.AddNode(1, "a")
+	g.AddNode(2, "b")
+	g.AddEdge(1, 2)
+	gen := g.Generation()
+
+	cases := []struct {
+		b  Batch
+		ok bool
+	}{
+		{Batch{Ins(2, 1)}, true},
+		{Batch{Ins(1, 2)}, false},                        // exists
+		{Batch{Del(2, 1)}, false},                        // missing
+		{Batch{Del(1, 2), Ins(1, 2)}, true},              // delete then re-insert
+		{Batch{Ins(2, 1), Ins(2, 1)}, false},             // in-batch duplicate
+		{Batch{InsNew(3, 4, "c", "d"), Del(3, 4)}, true}, // new nodes then delete
+	}
+	for i, c := range cases {
+		err := g.ValidateBatch(c.b)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: ValidateBatch=%v want ok=%v", i, err, c.ok)
+		}
+	}
+	if g.Generation() != gen {
+		t.Fatal("ValidateBatch mutated the graph")
+	}
+	// Validated batches must actually apply.
+	if err := g.ApplyBatch(Batch{Ins(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsDuplicates(t *testing.T) {
+	if _, err := Read(strings.NewReader("n 1 a\nn 2 b\nn 1 c\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("duplicate node: got %v, want line-numbered error", err)
+	}
+	if _, err := Read(strings.NewReader("n 1 a\nn 2 b\ne 1 2\ne 1 2\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("duplicate edge: got %v, want line-numbered error", err)
+	}
+}
+
+func TestMultiWordLabelRoundTrip(t *testing.T) {
+	g := New()
+	g.AddNode(1, "two words")
+	g.AddNode(2, "three word label")
+	g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Label(1) != "two words" || h.Label(2) != "three word label" {
+		t.Fatalf("labels lost: %q %q", h.Label(1), h.Label(2))
+	}
+	// Labels the whitespace-splitting reader cannot reproduce must be
+	// rejected at write time, not silently mangled on the round trip.
+	for _, bad := range []string{"bad\nlabel", "tab\tlabel", "double  space", " leading", "trailing "} {
+		h := New()
+		h.AddNode(3, bad)
+		if err := Write(&bytes.Buffer{}, h); err == nil {
+			t.Fatalf("want error writing unrepresentable label %q", bad)
+		}
+	}
+}

@@ -15,14 +15,26 @@ import (
 //	n <id> <label>
 //	e <from> <to>
 //
-// Node lines must precede edge lines that use them.
+// Node lines must precede edge lines that use them. The format
+// round-trips: Write emits nodes and edges in sorted order (deterministic
+// output for identical graphs), labels may contain interior spaces (Read
+// joins the trailing fields), and Read rejects duplicate node or edge
+// declarations with a line-numbered error instead of silently relabeling
+// or collapsing them.
 
 // Write serializes g in the text format, nodes then edges, in sorted order
-// so output is deterministic.
+// so output is deterministic. Labels the whitespace-splitting reader
+// cannot reproduce — anything containing a newline, tab, or leading/
+// trailing/consecutive spaces — are rejected rather than silently
+// mangled, keeping Write∘Read the identity on everything Write accepts.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	for _, v := range g.NodesSorted() {
-		if _, err := fmt.Fprintf(bw, "n %d %s\n", v, g.Label(v)); err != nil {
+		label := g.Label(v)
+		if label != strings.Join(strings.Fields(label), " ") {
+			return fmt.Errorf("graph: node %d: label %q is not representable in the text format", v, label)
+		}
+		if _, err := fmt.Fprintf(bw, "n %d %s\n", v, label); err != nil {
 			return err
 		}
 	}
@@ -58,7 +70,12 @@ func Read(r io.Reader) (*Graph, error) {
 			}
 			label := ""
 			if len(fields) >= 3 {
-				label = fields[2]
+				// Join trailing fields so labels with interior spaces
+				// round-trip through Write.
+				label = strings.Join(fields[2:], " ")
+			}
+			if g.HasNode(NodeID(id)) {
+				return nil, fmt.Errorf("graph: line %d: duplicate node %d", lineNo, id)
 			}
 			g.AddNode(NodeID(id), label)
 		case "e":
@@ -76,7 +93,9 @@ func Read(r io.Reader) (*Graph, error) {
 			if !g.HasNode(NodeID(from)) || !g.HasNode(NodeID(to)) {
 				return nil, fmt.Errorf("graph: line %d: edge references undeclared node", lineNo)
 			}
-			g.AddEdge(NodeID(from), NodeID(to))
+			if !g.AddEdge(NodeID(from), NodeID(to)) {
+				return nil, fmt.Errorf("graph: line %d: duplicate edge (%d,%d)", lineNo, from, to)
+			}
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
 		}

@@ -1,7 +1,9 @@
 package iso
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
 
 	"incgraph/internal/cost"
@@ -130,6 +132,30 @@ func (ix *Index) Matches() []Match {
 		}
 		return out
 	})
+}
+
+// WriteAnswer serializes Q(G) in canonical text form: one line per
+// embedding, "match <v1> <v2> ...", aligned with Pattern.Nodes(), in
+// canonical-key order. Identical match sets produce identical bytes
+// regardless of the path that computed them (build, incremental repair,
+// batch fallback, or recovery replay); the durability layer's parity
+// checks and the incgraphd answer dumps rely on this.
+func (ix *Index) WriteAnswer(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range ix.Matches() {
+		if _, err := bw.WriteString("match"); err != nil {
+			return err
+		}
+		for _, v := range m {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // Apply processes a batch ΔG with IncISO: deletions drop exactly the

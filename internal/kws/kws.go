@@ -17,7 +17,9 @@
 package kws
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
 
 	"incgraph/internal/cost"
@@ -290,6 +292,29 @@ func (ix *Index) MatchAt(r graph.NodeID) (Match, bool) {
 
 // NumMatches returns |Q(G)|.
 func (ix *Index) NumMatches() int { return len(ix.matches) }
+
+// WriteAnswer serializes Q(G) in canonical text form: one line per match
+// root, ascending, "root <id> <d1> <d2> ...". Identical answers always
+// produce identical bytes, whatever worker, shard or recovery path built
+// them — the durability layer's recovery-parity checks and the incgraphd
+// answer dumps both rely on this. Safe under the read-share contract.
+func (ix *Index) WriteAnswer(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range ix.MatchRoots() {
+		if _, err := fmt.Fprintf(bw, "root %d", r); err != nil {
+			return err
+		}
+		for _, d := range ix.matches[r] {
+			if _, err := fmt.Fprintf(bw, " %d", d); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
 
 // Snapshot returns a copy of the match set, root → dist vector. Tests and
 // the public Delta computation use it.

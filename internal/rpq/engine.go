@@ -19,7 +19,9 @@
 package rpq
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
 
 	"incgraph/internal/cost"
@@ -353,6 +355,21 @@ func (e *Engine) Matches() []Pair {
 		})
 		return out
 	})
+}
+
+// WriteAnswer serializes Q(G) in canonical text form: one line per match,
+// "pair <src> <dst>", sorted by (Src, Dst). Identical answers produce
+// identical bytes regardless of how they were computed (build, repair, or
+// recovery replay); the durability layer's parity checks and the incgraphd
+// answer dumps rely on this. Safe under the read-share contract.
+func (e *Engine) WriteAnswer(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range e.Matches() {
+		if _, err := fmt.Fprintf(bw, "pair %d %d\n", p.Src, p.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // BatchAnswer evaluates Q(G) from scratch and returns the match set: the

@@ -1,7 +1,9 @@
 package scc
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
 
 	"incgraph/internal/cost"
@@ -167,6 +169,29 @@ func (s *State) ComponentsSorted() [][]graph.NodeID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
+}
+
+// WriteAnswer serializes SCC(G) in canonical text form: one line per
+// component, "comp <v1> <v2> ...", members ascending, components ordered
+// by smallest member. Identical partitions produce identical bytes
+// whatever update path produced them; the durability layer's
+// recovery-parity checks and the incgraphd answer dumps rely on this.
+func (s *State) WriteAnswer(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.ComponentsSorted() {
+		if _, err := bw.WriteString("comp"); err != nil {
+			return err
+		}
+		for _, v := range c {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // SetTreeArcRepair toggles the tree-arc re-parenting fast path (on by

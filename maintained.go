@@ -1,6 +1,9 @@
 package incgraph
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // Maintained is the common surface of the four incrementally maintained
 // query classes: apply a batch ΔG, learn how the answer moved. It lets
@@ -32,6 +35,12 @@ type Maintained interface {
 	Class() string
 	// Graph returns the maintained graph (shared and mutated by Apply).
 	Graph() *Graph
+	// WriteAnswer serializes the current answer Q(G) in the class's
+	// canonical text form: identical answers produce identical bytes,
+	// whatever worker count, shard count, or recovery path computed them.
+	// The durability layer's recovery-parity guarantee is stated — and
+	// tested — in terms of these bytes.
+	WriteAnswer(w io.Writer) error
 }
 
 // DeltaSummary is the class-agnostic view of an output change ΔO.
@@ -67,9 +76,10 @@ func (a kwsAdapter) Apply(batch Batch) (DeltaSummary, error) {
 	}
 	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed), Updated: len(d.Updated)}, nil
 }
-func (a kwsAdapter) Size() int     { return a.ix.NumMatches() }
-func (a kwsAdapter) Class() string { return "kws" }
-func (a kwsAdapter) Graph() *Graph { return a.ix.Graph() }
+func (a kwsAdapter) Size() int                     { return a.ix.NumMatches() }
+func (a kwsAdapter) Class() string                 { return "kws" }
+func (a kwsAdapter) Graph() *Graph                 { return a.ix.Graph() }
+func (a kwsAdapter) WriteAnswer(w io.Writer) error { return a.ix.WriteAnswer(w) }
 
 type rpqAdapter struct{ e *RPQEngine }
 
@@ -80,9 +90,10 @@ func (a rpqAdapter) Apply(batch Batch) (DeltaSummary, error) {
 	}
 	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed)}, nil
 }
-func (a rpqAdapter) Size() int     { return a.e.NumMatches() }
-func (a rpqAdapter) Class() string { return "rpq" }
-func (a rpqAdapter) Graph() *Graph { return a.e.Graph() }
+func (a rpqAdapter) Size() int                     { return a.e.NumMatches() }
+func (a rpqAdapter) Class() string                 { return "rpq" }
+func (a rpqAdapter) Graph() *Graph                 { return a.e.Graph() }
+func (a rpqAdapter) WriteAnswer(w io.Writer) error { return a.e.WriteAnswer(w) }
 
 type sccAdapter struct{ s *SCCState }
 
@@ -93,9 +104,10 @@ func (a sccAdapter) Apply(batch Batch) (DeltaSummary, error) {
 	}
 	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed)}, nil
 }
-func (a sccAdapter) Size() int     { return a.s.NumComponents() }
-func (a sccAdapter) Class() string { return "scc" }
-func (a sccAdapter) Graph() *Graph { return a.s.Graph() }
+func (a sccAdapter) Size() int                     { return a.s.NumComponents() }
+func (a sccAdapter) Class() string                 { return "scc" }
+func (a sccAdapter) Graph() *Graph                 { return a.s.Graph() }
+func (a sccAdapter) WriteAnswer(w io.Writer) error { return a.s.WriteAnswer(w) }
 
 type isoAdapter struct{ ix *ISOIndex }
 
@@ -106,6 +118,7 @@ func (a isoAdapter) Apply(batch Batch) (DeltaSummary, error) {
 	}
 	return DeltaSummary{Added: len(d.Added), Removed: len(d.Removed)}, nil
 }
-func (a isoAdapter) Size() int     { return a.ix.NumMatches() }
-func (a isoAdapter) Class() string { return "iso" }
-func (a isoAdapter) Graph() *Graph { return a.ix.Graph() }
+func (a isoAdapter) Size() int                     { return a.ix.NumMatches() }
+func (a isoAdapter) Class() string                 { return "iso" }
+func (a isoAdapter) Graph() *Graph                 { return a.ix.Graph() }
+func (a isoAdapter) WriteAnswer(w io.Writer) error { return a.ix.WriteAnswer(w) }
