@@ -1,0 +1,80 @@
+package incgraph
+
+import (
+	"net"
+
+	"incgraph/internal/cluster"
+)
+
+// Distribution. A Cluster runs the sharded substrate across processes:
+// shard worker processes each hold authoritative replicas of a subset of
+// the graph's shards, and the coordinator drives ApplyBatch's two-phase
+// protocol over a length+CRC-framed RPC — phase 1 ships each shard's
+// slice of the validated batch plan to the worker owning it, in parallel;
+// phase 2 (the commit callback) merges deltas in shard order locally — so
+// the distributed application is byte-identical to the single-process
+// one. Shard placement and rebalancing ship the per-shard snapshot
+// segments of internal/store. Batches with disjoint TouchedShards are
+// routed concurrently. See internal/cluster for the protocol contract and
+// doc.go "Distribution" for what is and is not replicated yet.
+
+type (
+	// Cluster is the coordinator side of a shard-worker deployment.
+	Cluster = cluster.Coordinator
+	// ClusterWorker owns a subset of shards behind the RPC protocol.
+	ClusterWorker = cluster.Worker
+	// ClusterLink is one worker connection handed to NewCluster.
+	ClusterLink = cluster.Link
+	// ClusterStat is one worker's entry in Cluster.Stats.
+	ClusterStat = cluster.Stat
+)
+
+// NewCluster attaches the linked workers as shard workers of g,
+// handshaking each and placing every shard round-robin. While the cluster
+// is attached, Cluster.Apply (or Durable.ApplyVia) must be the only
+// mutation path of g.
+func NewCluster(g *Graph, links []ClusterLink) (*Cluster, error) {
+	return cluster.NewCoordinator(g, links)
+}
+
+// NewClusterWorker returns an empty shard worker; serve it with
+// ClusterWorker.Serve on a listener (or ServeConn on any connection). The
+// coordinator's handshake sizes and populates it.
+func NewClusterWorker() *ClusterWorker { return cluster.NewWorker() }
+
+// DialClusterWorker connects to a worker's TCP address, returning a
+// redialable link: a worker that crashes and restarts on the same address
+// is reattached and rebuilt from shipped segments automatically.
+func DialClusterWorker(addr string) (ClusterLink, error) { return cluster.Dial(addr) }
+
+// InProcessCluster starts n workers over synchronous in-memory pipes —
+// the deterministic transport used by tests and benchmarks. stop tears
+// the serving goroutines down.
+func InProcessCluster(n int) (links []ClusterLink, workers []*ClusterWorker, stop func()) {
+	return cluster.InProcess(n)
+}
+
+// ApplyVia applies b through the cluster's distributed two-phase protocol
+// with the Durable as the commit step: phase 1 fans out to the shard
+// workers, and only after every worker acknowledged does the usual
+// durable path run — validate, WAL-append, apply to the base graph and
+// every attached engine. A worker failure aborts the batch atomically
+// (nothing is logged or applied locally) and the affected shards are
+// re-shipped from the authoritative graph before their next use.
+func (d *Durable) ApplyVia(c *Cluster, b Batch) ([]DeltaSummary, error) {
+	var sums []DeltaSummary
+	err := c.Apply(b, func(bb Batch) error {
+		var aerr error
+		sums, aerr = d.Apply(bb)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// ListenCluster is a convenience for worker processes: listen on addr and
+// return the listener (so the caller can log the bound address) for
+// ClusterWorker.Serve.
+func ListenCluster(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// testGates uses a zero time floor so the tiny fixture timings are gated.
+var testGates = gates{timeRatio: 2.5, timeFloor: 0, allocRatio: 1.15, allocSlack: 256}
+
+func parseLines(t *testing.T, lines string) map[string]experiment {
+	t.Helper()
+	out, err := parse(strings.NewReader(lines), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+const baseJSON = `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1000,2000],"allocs":[500,900]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`
+
+func TestCompareClean(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	cur := parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1100,1900],"allocs":[510,880]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[7000]}]}
+{"id":"cluster","points":["5%"],"series":[{"name":"Cluster2w","ns_per_op":[100],"allocs":[10]}]}
+`)
+	rows, regressed := compare(base, cur, testGates)
+	if regressed {
+		t.Fatalf("clean run flagged as regression: %+v", rows)
+	}
+	var sawNew bool
+	for _, r := range rows {
+		if r.id == "cluster" && strings.Contains(r.status, "new") {
+			sawNew = true
+		}
+	}
+	if !sawNew {
+		t.Fatalf("new experiment not reported: %+v", rows)
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	// Consistent 4x slowdown: past the generous geomean threshold.
+	cur := parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[4000,8000],"allocs":[500,900]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	_, regressed := compare(base, cur, testGates)
+	if !regressed {
+		t.Fatal("4x slowdown passed the gate")
+	}
+	// One noisy point among steady ones must NOT fail the geomean gate.
+	cur = parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[4000,2000],"allocs":[500,900]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	if _, regressed := compare(base, cur, testGates); regressed {
+		t.Fatal("single noisy point failed the geomean gate")
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	// Allocations up 2x with identical wall clock: the strict gate fires.
+	cur := parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1000,2000],"allocs":[500,1800]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	rows, regressed := compare(base, cur, testGates)
+	if !regressed {
+		t.Fatal("2x alloc growth passed the gate")
+	}
+	found := false
+	for _, r := range rows {
+		if r.id == "8a" && strings.Contains(r.status, "ALLOC REGRESSION") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alloc regression not named in status: %+v", rows)
+	}
+	// Within ratio+slack passes: 500*1.15+256 ≈ 831.
+	cur = parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1000,2000],"allocs":[800,1000]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	if _, regressed := compare(base, cur, testGates); regressed {
+		t.Fatal("allocs within tolerance failed the gate")
+	}
+	// A baseline without alloc counts (pre-PR 5) skips the alloc gate.
+	for _, r := range rows {
+		if r.id == "store" && r.allocGated {
+			t.Fatal("alloc gate armed without baseline alloc counts")
+		}
+	}
+}
+
+func TestCompareMissingExperimentFails(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	cur := parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1000,2000],"allocs":[500,900]}]}
+`)
+	rows, regressed := compare(base, cur, testGates)
+	if !regressed {
+		t.Fatal("dropped experiment passed the gate")
+	}
+	found := false
+	for _, r := range rows {
+		if r.id == "store" && strings.Contains(r.status, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing experiment not reported: %+v", rows)
+	}
+	// A dropped series inside a surviving experiment also fails.
+	cur = parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"Renamed","ns_per_op":[1000,2000]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	if _, regressed := compare(base, cur, testGates); !regressed {
+		t.Fatal("dropped series passed the gate")
+	}
+}
+
+func TestTimeFloorExemptsMicroPoints(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	// 4x slowdown on ns-scale points: below the 1ms floor the time gate
+	// must stay quiet (the alloc gate still covers them).
+	cur := parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[4000,8000],"allocs":[500,900]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[20000]}]}
+`)
+	floored := testGates
+	floored.timeFloor = 1e6
+	if _, regressed := compare(base, cur, floored); regressed {
+		t.Fatal("micro-point slowdown failed the gate despite the time floor")
+	}
+	// Alloc regressions on the same micro-points still fail.
+	cur = parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1000,2000],"allocs":[5000,900]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	if _, regressed := compare(base, cur, floored); !regressed {
+		t.Fatal("alloc regression on a micro-point passed the gate")
+	}
+}
+
+func TestCompareDroppedPointsFail(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	cur := parseLines(t, `{"id":"8a","points":["5%"],"series":[{"name":"IncKWS","ns_per_op":[1000],"allocs":[500]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	rows, regressed := compare(base, cur, testGates)
+	if !regressed {
+		t.Fatal("shrunken point coverage passed the gate")
+	}
+	found := false
+	for _, r := range rows {
+		if r.id == "8a" && strings.Contains(r.status, "POINTS DROPPED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped points not named in status: %+v", rows)
+	}
+}
+
+func TestCompareEmptySeriesAndLostAllocsFail(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	// A series emptied of every point must fail, not report 'no
+	// comparable points' and pass.
+	cur := parseLines(t, `{"id":"8a","points":[],"series":[{"name":"IncKWS","ns_per_op":[]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	rows, regressed := compare(base, cur, testGates)
+	if !regressed {
+		t.Fatalf("emptied series passed the gate: %+v", rows)
+	}
+	// A current run that lost its alloc counts (baseline has them) fails
+	// rather than silently disarming the strict gate.
+	cur = parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[1000,2000]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	rows, regressed = compare(base, cur, testGates)
+	if !regressed {
+		t.Fatal("lost alloc coverage passed the gate")
+	}
+	found := false
+	for _, r := range rows {
+		if r.id == "8a" && strings.Contains(r.status, "ALLOC COVERAGE DROPPED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lost alloc coverage not named in status: %+v", rows)
+	}
+}
+
+func TestCompareZeroedTimingsFail(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	// Current run with timings zeroed out (broken emission) must fail the
+	// time gate as dropped coverage, not be exempted point by point.
+	cur := parseLines(t, `{"id":"8a","points":["5%","10%"],"series":[{"name":"IncKWS","ns_per_op":[0,0],"allocs":[500,900]}]}
+{"id":"store","points":["50k"],"series":[{"name":"snap-load","ns_per_op":[5000]}]}
+`)
+	rows, regressed := compare(base, cur, testGates)
+	if !regressed {
+		t.Fatalf("zeroed timings passed the gate: %+v", rows)
+	}
+	found := false
+	for _, r := range rows {
+		if r.id == "8a" && strings.Contains(r.status, "TIME COVERAGE DROPPED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zeroed timings not named in status: %+v", rows)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	base := parseLines(t, baseJSON)
+	cur := parseLines(t, baseJSON)
+	rows, regressed := compare(base, cur, testGates)
+	if regressed {
+		t.Fatal("identical runs regressed")
+	}
+	var sb strings.Builder
+	render(&sb, rows, true, 2.5, 1.15)
+	out := sb.String()
+	for _, want := range []string{"| experiment |", "| 8a | IncKWS |", "1.00x", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	benchmark [-fig 8a,8b,... | -fig all] [-scale 1.0] [-seed 1] [-points 0] [-workers 0] [-shards 0] [-json]
 //	benchmark -store [-json]    # durability: snapshot-load vs text-rebuild
+//	benchmark -cluster [-json]  # distribution: coordinator+2 workers vs single process
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = all cores, 1 = sequential baseline)")
 	shards := flag.Int("shards", 0, "graph shard count, rounded to a power of two (0 = default, 1 = unsharded baseline)")
 	storeMode := flag.Bool("store", false, "run only the durability experiment: snapshot-load vs text-rebuild timings")
+	clusterMode := flag.Bool("cluster", false, "run only the distribution experiment: distributed vs single-process ΔG apply")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	asJSON := flag.Bool("json", false, "emit one JSON object per experiment (id, points, ns/op) instead of tables")
 	flag.Parse()
@@ -39,6 +41,9 @@ func main() {
 	}
 	if *storeMode {
 		ids = []string{"store"}
+	}
+	if *clusterMode {
+		ids = []string{"cluster"}
 	}
 	for _, id := range ids {
 		res, err := bench.Run(strings.TrimSpace(id), cfg)

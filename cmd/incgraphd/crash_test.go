@@ -122,6 +122,15 @@ func TestCrashRecoverySmoke(t *testing.T) {
 	// And the recovered daemon still ingests.
 	c.cmd(t, fmt.Sprintf("+ %d %d fresh fresh", scratch.MaxNodeID()+1, scratch.MaxNodeID()+2))
 	c.cmd(t, "commit")
+
+	// The operational error counters the accept loop and commit path log
+	// are exposed as stat fields (zero on this healthy restart).
+	statLine := c.cmd(t, "stat")
+	for _, field := range []string{"accept_errs=0", "commit_errs=0"} {
+		if !strings.Contains(statLine, field) {
+			t.Fatalf("stat %q missing %q", statLine, field)
+		}
+	}
 }
 
 // startDaemon launches the binary and waits until its port accepts.

@@ -15,11 +15,29 @@
 //	          [-kws "a,b" -bound 2] [-rpq "a.b*.c"] [-iso pattern.txt] [-scc]
 //	          [-shards N] [-workers N] [-fsync always|none]
 //	          [-checkpoint-bytes N]
+//	          [-cluster addr1,addr2 | -cluster-spawn N]
+//	incgraphd worker [-addr :7431]
 //
 // On first start -graph seeds the store (text or .snap format, sniffed);
 // later starts recover from the store and ignore -graph. The standing
 // queries must be configured on every start (they are compiled state, not
 // stored state; the store holds the graph and its update history).
+//
+// # Cluster mode
+//
+// "incgraphd worker" runs a shard worker: a process that owns a subset of
+// the graph's shards behind the framed RPC protocol of internal/cluster
+// and applies phase 1 of every committed batch for them. The serving
+// daemon attaches workers with -cluster (comma-separated addresses of
+// already-running workers) or -cluster-spawn N (N worker child processes
+// on loopback ports); shards are placed round-robin by shipping snapshot
+// segments. Commits then run the distributed two-phase protocol: phase 1
+// fans out to the workers in parallel, and only after every worker
+// acknowledged does the usual durable path run, so answers are
+// byte-identical to a single-process daemon. A worker crash fails the
+// in-flight commit atomically ("err commit: ..."); once the worker is
+// back on its address, the next commit reattaches it and re-ships its
+// shards from the authoritative graph.
 //
 // The protocol is line-oriented over TCP — one command per line, one
 // "ok ..."/"err ..." reply line (answer dumps are multi-line, dot-
@@ -43,47 +61,62 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"incgraph"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := runWorker(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "incgraphd worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
-		storeDir  = flag.String("store", "", "store directory (required; created on first start)")
-		graphPath = flag.String("graph", "", "initial graph file, text or .snap (first start only)")
-		addr      = flag.String("addr", ":7421", "TCP listen address")
-		kwsQuery  = flag.String("kws", "", "standing KWS query: comma-separated keywords")
-		bound     = flag.Int("bound", 2, "KWS distance bound b")
-		rpqQuery  = flag.String("rpq", "", "standing RPQ query expression")
-		isoPath   = flag.String("iso", "", "standing ISO pattern graph file")
-		scc       = flag.Bool("scc", false, "maintain strongly connected components")
-		shards    = flag.Int("shards", 0, "graph shard count (0 = default; first start only)")
-		workers   = flag.Int("workers", 0, "engine worker pool size (0 = all cores)")
-		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|none")
-		ckptBytes = flag.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint when the WAL exceeds this size (0 = manual only)")
+		storeDir     = flag.String("store", "", "store directory (required; created on first start)")
+		graphPath    = flag.String("graph", "", "initial graph file, text or .snap (first start only)")
+		addr         = flag.String("addr", ":7421", "TCP listen address")
+		kwsQuery     = flag.String("kws", "", "standing KWS query: comma-separated keywords")
+		bound        = flag.Int("bound", 2, "KWS distance bound b")
+		rpqQuery     = flag.String("rpq", "", "standing RPQ query expression")
+		isoPath      = flag.String("iso", "", "standing ISO pattern graph file")
+		scc          = flag.Bool("scc", false, "maintain strongly connected components")
+		shards       = flag.Int("shards", 0, "graph shard count (0 = default; first start only)")
+		workers      = flag.Int("workers", 0, "engine worker pool size (0 = all cores)")
+		fsync        = flag.String("fsync", "always", "WAL fsync policy: always|none")
+		ckptBytes    = flag.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint when the WAL exceeds this size (0 = manual only)")
+		clusterAddrs = flag.String("cluster", "", "comma-separated shard-worker addresses to attach (cluster mode)")
+		clusterSpawn = flag.Int("cluster-spawn", 0, "spawn N shard-worker child processes on loopback ports (cluster mode)")
 	)
 	flag.Parse()
 
 	if err := run(config{
-		storeDir:  *storeDir,
-		graphPath: *graphPath,
-		addr:      *addr,
-		kwsQuery:  *kwsQuery,
-		bound:     *bound,
-		rpqQuery:  *rpqQuery,
-		isoPath:   *isoPath,
-		scc:       *scc,
-		shards:    *shards,
-		workers:   *workers,
-		fsync:     *fsync,
-		ckptBytes: *ckptBytes,
+		storeDir:     *storeDir,
+		graphPath:    *graphPath,
+		addr:         *addr,
+		kwsQuery:     *kwsQuery,
+		bound:        *bound,
+		rpqQuery:     *rpqQuery,
+		isoPath:      *isoPath,
+		scc:          *scc,
+		shards:       *shards,
+		workers:      *workers,
+		fsync:        *fsync,
+		ckptBytes:    *ckptBytes,
+		clusterAddrs: *clusterAddrs,
+		clusterSpawn: *clusterSpawn,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "incgraphd: %v\n", err)
 		os.Exit(1)
@@ -97,6 +130,95 @@ type config struct {
 	scc                         bool
 	fsync                       string
 	ckptBytes                   int64
+	clusterAddrs                string
+	clusterSpawn                int
+}
+
+// runWorker is the "incgraphd worker" subcommand: a shard worker serving
+// the cluster RPC protocol until SIGTERM/SIGINT.
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", ":7431", "TCP listen address for the cluster RPC protocol")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := incgraph.ListenCluster(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("worker listening on %s", ln.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ln.Close()
+	}()
+	w := incgraph.NewClusterWorker()
+	if err := w.Serve(ln); err != nil && !isClosed(err) {
+		return err
+	}
+	log.Printf("worker shutting down")
+	return nil
+}
+
+// isClosed reports the listener-closed error a clean shutdown produces.
+func isClosed(err error) bool { return errors.Is(err, net.ErrClosed) }
+
+// spawnWorkers launches n "incgraphd worker" child processes on loopback
+// ports and waits for each to accept. The returned stop kills them.
+func spawnWorkers(n int) (addrs []string, stop func(), err error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Reserve a free loopback port, release it, hand it to the child.
+		// The tiny window is acceptable for a local dev topology.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		cmd := exec.Command(self, "worker", "-addr", addr)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+		if err := waitForAddr(addr, 10*time.Second); err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("spawned worker on %s never came up: %w", addr, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}
+
+// waitForAddr polls until a TCP dial to addr succeeds.
+func waitForAddr(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 func run(cfg config) error {
@@ -197,7 +319,46 @@ func run(cfg config) error {
 		log.Printf("standing query %s: %d answers", m.Class(), m.Size())
 	}
 
-	srv := newServer(d, cfg.ckptBytes)
+	// Cluster mode: attach (or spawn) shard workers and place every shard
+	// by shipping its snapshot segment.
+	var cl *incgraph.Cluster
+	stopSpawned := func() {}
+	if cfg.clusterAddrs != "" || cfg.clusterSpawn > 0 {
+		var addrs []string
+		for _, a := range strings.Split(cfg.clusterAddrs, ",") {
+			// Tolerate stray commas ("a,b," / "a,,b"): an empty element
+			// would otherwise abort startup with a confusing dial error.
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if cfg.clusterSpawn > 0 {
+			spawned, stop, err := spawnWorkers(cfg.clusterSpawn)
+			if err != nil {
+				return err
+			}
+			stopSpawned = stop
+			addrs = append(addrs, spawned...)
+		}
+		links := make([]incgraph.ClusterLink, 0, len(addrs))
+		for _, a := range addrs {
+			link, err := incgraph.DialClusterWorker(a)
+			if err != nil {
+				stopSpawned()
+				return err
+			}
+			links = append(links, link)
+		}
+		var err error
+		cl, err = incgraph.NewCluster(d.Graph(), links)
+		if err != nil {
+			stopSpawned()
+			return err
+		}
+		log.Printf("cluster: %d shards placed across %d workers", d.Graph().NumShards(), cl.NumWorkers())
+	}
+
+	srv := newServer(d, cl, cfg.ckptBytes)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	stop := make(chan struct{})
@@ -205,5 +366,7 @@ func run(cfg config) error {
 		<-sig
 		close(stop)
 	}()
-	return srv.serve(cfg.addr, stop)
+	err := srv.serve(cfg.addr, stop)
+	stopSpawned()
+	return err
 }

@@ -3,12 +3,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incgraph"
@@ -18,10 +20,17 @@ import (
 // the substrate's read-parallel contract: commit and checkpoint take the
 // write lock (mutation is exclusive), queries take the read lock and are
 // served from the engines' generation-stamped answer caches, so
-// connections read concurrently between commits.
+// connections read concurrently between commits. In cluster mode the
+// remote phase 1 of a commit runs before the write lock is taken, so the
+// wire round trips of one commit overlap with reads (and with the remote
+// phase of other commits on disjoint shards); only the local durable
+// apply is exclusive.
 type server struct {
 	mu sync.RWMutex
 	d  *incgraph.Durable
+	// cl, when non-nil, routes commits through the distributed two-phase
+	// protocol (phase 1 on the shard workers, commit under s.mu).
+	cl *incgraph.Cluster
 	// ckptBytes auto-checkpoints after a commit grows the WAL past it.
 	ckptBytes int64
 	byClass   map[string]incgraph.Maintained
@@ -29,14 +38,21 @@ type server struct {
 	// readers instead of waiting for clients to hang up.
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+	// Operational counters, exposed by "stat" so operators can see what
+	// the logs saw: transient accept failures, and commits that failed
+	// for operational reasons (cluster phase-1 failure, WAL trouble) —
+	// batch-validation rejections are client input errors and are only
+	// replied to, not counted or logged.
+	acceptErrs atomic.Uint64
+	commitErrs atomic.Uint64
 }
 
-func newServer(d *incgraph.Durable, ckptBytes int64) *server {
+func newServer(d *incgraph.Durable, cl *incgraph.Cluster, ckptBytes int64) *server {
 	byClass := make(map[string]incgraph.Maintained, len(d.Engines()))
 	for _, m := range d.Engines() {
 		byClass[m.Class()] = m
 	}
-	return &server{d: d, ckptBytes: ckptBytes, byClass: byClass, conns: make(map[net.Conn]struct{})}
+	return &server{d: d, cl: cl, ckptBytes: ckptBytes, byClass: byClass, conns: make(map[net.Conn]struct{})}
 }
 
 // track registers or unregisters a live connection.
@@ -86,12 +102,17 @@ func (s *server) serve(addr string, stop <-chan struct{}) error {
 				s.mu.Lock()
 				defer s.mu.Unlock()
 				log.Printf("shutting down (gen %d, WAL seq %d)", s.d.Generation(), s.d.WALSeq())
+				if s.cl != nil {
+					s.cl.Close()
+				}
 				return s.d.Close()
 			default:
 			}
 			// Transient accept failures (ECONNABORTED, EMFILE under a
 			// connection burst) must not kill a long-lived daemon: back
 			// off and retry; the condition clears as connections close.
+			// Counted so "stat" exposes what the log line saw.
+			s.acceptErrs.Add(1)
 			log.Printf("accept: %v (retrying in %v)", err, backoff)
 			select {
 			case <-done:
@@ -196,24 +217,48 @@ func (s *server) handle(conn net.Conn) {
 	}
 }
 
-// commit applies one staged batch under the write lock and reports ΔO per
-// class, then auto-checkpoints past the WAL threshold.
+// commit applies one staged batch and reports ΔO per class, then
+// auto-checkpoints past the WAL threshold. Single-process commits run
+// entirely under the write lock; cluster commits run phase 1 over the
+// wire first (the coordinator serializes conflicting batches by shard)
+// and take the write lock only for the local durable apply.
 func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) bool {
 	if len(batch) == 0 {
 		return reply("err nothing staged")
 	}
-	s.mu.Lock()
-	sums, err := s.d.Apply(batch)
-	gen, walBytes := s.d.Generation(), s.d.WALBytes()
-	if err == nil && s.ckptBytes > 0 && walBytes > s.ckptBytes {
-		if cerr := s.d.Checkpoint(); cerr != nil {
-			log.Printf("auto-checkpoint failed: %v", cerr)
-		} else {
-			log.Printf("auto-checkpoint at WAL %d bytes (epoch %d)", walBytes, s.d.Epoch())
+	var (
+		sums []incgraph.DeltaSummary
+		err  error
+	)
+	durableApply := func(b incgraph.Batch) ([]incgraph.DeltaSummary, uint64, int64, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sums, aerr := s.d.Apply(b)
+		gen, walBytes := s.d.Generation(), s.d.WALBytes()
+		if aerr == nil && s.ckptBytes > 0 && walBytes > s.ckptBytes {
+			if cerr := s.d.Checkpoint(); cerr != nil {
+				log.Printf("auto-checkpoint failed: %v", cerr)
+			} else {
+				log.Printf("auto-checkpoint at WAL %d bytes (epoch %d)", walBytes, s.d.Epoch())
+			}
 		}
+		return sums, gen, walBytes, aerr
 	}
-	s.mu.Unlock()
+	var gen uint64
+	if s.cl != nil {
+		err = s.cl.Apply(batch, func(b incgraph.Batch) error {
+			var aerr error
+			sums, gen, _, aerr = durableApply(b)
+			return aerr
+		})
+	} else {
+		sums, gen, _, err = durableApply(batch)
+	}
 	if err != nil {
+		if !errors.Is(err, incgraph.ErrBadUpdate) {
+			s.commitErrs.Add(1)
+			log.Printf("commit failed: %v", err)
+		}
 		return reply("err commit: %v", err)
 	}
 	var sb strings.Builder
@@ -269,6 +314,19 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 		g.NumNodes(), g.NumEdges(), g.Generation(), g.NumShards(),
 		s.d.Epoch(), s.d.WALSeq(), s.d.WALBytes(), strings.Join(classes, ","))
 	s.mu.RUnlock()
+	// Error counters: what the accept-loop and commit-path logs saw, as
+	// machine-readable fields (the crash drill asserts their presence).
+	line += fmt.Sprintf(" accept_errs=%d commit_errs=%d", s.acceptErrs.Load(), s.commitErrs.Load())
+	if s.cl != nil {
+		up := 0
+		for _, st := range s.cl.Stats() {
+			if !st.Down {
+				up++
+			}
+		}
+		line += fmt.Sprintf(" cluster_workers=%d/%d cluster_applied=%d cluster_remote_errs=%d cluster_resyncs=%d",
+			up, s.cl.NumWorkers(), s.cl.Applied(), s.cl.RemoteErrors(), s.cl.Resyncs())
+	}
 	return reply("%s", line)
 }
 

@@ -127,6 +127,47 @@
 // CLI tools accept .snap files anywhere a text graph is accepted
 // (LoadGraphFile sniffs the format).
 //
+// # Distribution
+//
+// The substrate outgrows one process along the boundary it was sharded
+// on (internal/cluster, surfaced here as Cluster/ClusterWorker):
+//
+//   - Coordinator/worker contract. Shard worker processes each hold
+//     authoritative replicas of a subset of the graph's shards — node
+//     records, slot allocators, adjacency, nothing graph-global — behind
+//     a length+CRC-framed RPC protocol (the WAL's framing). The
+//     coordinator keeps the authoritative full graph: batches are
+//     validated and planned there, the engines and the Durable live
+//     there, and shard placement/rebalancing ship the snapshot's
+//     per-shard segments (the wire format the store was designed around).
+//   - Determinism. A distributed Apply is ApplyBatch's existing two-phase
+//     protocol stretched over the network: phase 1 ships each shard's
+//     slice of the validated plan to its owning worker, in parallel;
+//     phase 2 — the commit callback — merges deltas in shard order
+//     locally, cross-checked against the plan. The result (graph bytes,
+//     engine deltas, canonical answers) is byte-identical to the
+//     single-process application; the differential tests pin
+//     cluster(workers=2) ≡ single-process for all four query classes,
+//     mid-stream rebalance included.
+//   - Failure. A batch commits only after every involved worker
+//     acknowledged phase 1. A worker failure mid-batch aborts the commit
+//     atomically — nothing is logged or applied locally — and every shard
+//     the batch planned to touch is re-shipped from the authoritative
+//     segments before its next use; a restarted worker is reattached and
+//     rebuilt the same way. Batches whose TouchedShards sets are disjoint
+//     are routed concurrently.
+//   - Not replicated yet. Answer serving, the WAL and checkpoints remain
+//     at the coordinator: workers scale mutation bandwidth and stage the
+//     substrate for distributed serving, they do not yet fail over. WAL
+//     replication across workers — and with it coordinator failover — is
+//     the designed follow-on (see ROADMAP.md).
+//
+// cmd/incgraphd exposes all of this operationally: "incgraphd worker"
+// runs a shard worker, and the serving daemon attaches workers with
+// -cluster addr,addr or -cluster-spawn N, after which every commit runs
+// the distributed protocol and "stat" reports worker health alongside the
+// accept/commit error counters.
+//
 // The facade in this package re-exports the library's types and
 // constructors; the implementations live in internal packages:
 //
@@ -141,6 +182,7 @@
 //	internal/gen        dataset simulators, update and query generators
 //	internal/bench      the harness that regenerates the paper's figures
 //	internal/store      per-shard snapshots, the WAL, checkpoint/recover
+//	internal/cluster    shard workers, framed RPC, the distributed apply
 //
 // A minimal session:
 //

@@ -41,6 +41,12 @@ type (
 // NoLabel is the LabelID of nodes that do not exist.
 const NoLabel = graph.NoLabel
 
+// ErrBadUpdate reports an update that cannot be applied to the current
+// graph (insertion of an existing edge, deletion of a missing one):
+// client input error, not an operational failure. Apply/ApplyBatch and
+// the durable/cluster paths wrap it; test with errors.Is.
+var ErrBadUpdate = graph.ErrBadUpdate
+
 // InternLabel returns the process-wide interned ID of label, assigning one
 // on first sight.
 func InternLabel(label string) LabelID { return graph.InternLabel(label) }

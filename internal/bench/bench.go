@@ -19,10 +19,15 @@ import (
 	"incgraph/internal/graph"
 )
 
-// Series is one line of a figure: a time measurement per x point.
+// Series is one line of a figure: a time and allocation measurement per x
+// point.
 type Series struct {
 	Name    string
 	Seconds []float64
+	// Allocs counts heap allocations (mallocs) of the measured phase per
+	// point. Near-deterministic on a quiet process, unlike wall clock, so
+	// the CI bench-regression gate holds it to a much tighter ratio.
+	Allocs []uint64
 }
 
 // Result is one reproduced figure or table.
@@ -94,11 +99,25 @@ func clip[T any](cfg Config, xs []T) []T {
 	return xs
 }
 
-// timed measures one run of fn.
-func timed(fn func() error) (float64, error) {
+// sample is one measurement of a runner's measured phase.
+type sample struct {
+	secs float64
+	// allocs is the process-wide mallocs delta across the phase: exact for
+	// the phase's own allocations plus whatever the runtime allocates
+	// meanwhile, which on a quiet benchmark process is noise of at most a
+	// few dozen — hence the gate's small absolute slack.
+	allocs uint64
+}
+
+// timed measures one run of fn: wall clock and heap allocations.
+func timed(fn func() error) (sample, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	err := fn()
-	return time.Since(start).Seconds(), err
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	return sample{secs: secs, allocs: m1.Mallocs - m0.Mallocs}, err
 }
 
 // deltaPcts is the |ΔG| sweep of Exp-1: 5%..40% of |G|.
@@ -118,24 +137,25 @@ func pctBatches(g *graph.Graph, pcts []int, seed int64) []graph.Batch {
 type runner struct {
 	name string
 	// run builds whatever state it needs from a clone of g (untimed parts
-	// included in its own accounting) and returns the seconds spent on the
+	// included in its own accounting) and returns the measurement of the
 	// measured phase only.
-	run func(g *graph.Graph, batch graph.Batch) (float64, error)
+	run func(g *graph.Graph, batch graph.Batch) (sample, error)
 }
 
 // sweep executes all runners over all batches against the same base graph.
 func sweep(g *graph.Graph, batches []graph.Batch, runners []runner) ([]Series, error) {
 	out := make([]Series, len(runners))
 	for i, r := range runners {
-		out[i] = Series{Name: r.name, Seconds: make([]float64, len(batches))}
+		out[i] = Series{Name: r.name, Seconds: make([]float64, len(batches)), Allocs: make([]uint64, len(batches))}
 	}
 	for j, b := range batches {
 		for i, r := range runners {
-			secs, err := r.run(g, b)
+			s, err := r.run(g, b)
 			if err != nil {
 				return nil, fmt.Errorf("%s at point %d: %w", r.name, j, err)
 			}
-			out[i].Seconds[j] = secs
+			out[i].Seconds[j] = s.secs
+			out[i].Allocs[j] = s.allocs
 		}
 	}
 	return out, nil
@@ -197,6 +217,11 @@ type jsonSeries struct {
 	Name    string    `json:"name"`
 	Seconds []float64 `json:"seconds"`
 	NsPerOp []float64 `json:"ns_per_op"`
+	// Allocs is the mallocs count of the measured phase per point, the
+	// near-deterministic signal the CI bench-regression gate holds to a
+	// tight ratio (wall clock gets a generous one). Absent in baselines
+	// recorded before PR 5; cmd/benchcmp skips the alloc gate then.
+	Allocs []uint64 `json:"allocs,omitempty"`
 }
 
 // jsonResult is the machine-readable form of one Result.
@@ -230,7 +255,7 @@ func (r *Result) FormatJSON(w io.Writer) error {
 		for j, secs := range s.Seconds {
 			ns[j] = secs * 1e9
 		}
-		out.Series[i] = jsonSeries{Name: s.Name, Seconds: s.Seconds, NsPerOp: ns}
+		out.Series[i] = jsonSeries{Name: s.Name, Seconds: s.Seconds, NsPerOp: ns, Allocs: s.Allocs}
 	}
 	return json.NewEncoder(w).Encode(out)
 }

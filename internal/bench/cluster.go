@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"incgraph/internal/cluster"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+)
+
+// figCluster measures the distributed two-phase apply against the
+// single-process ApplyBatch on the same ΔG sweep: a coordinator with two
+// shard workers over the in-process transport (net.Pipe — real framing,
+// real parcels, no TCP stack in the loop), so the series isolates the
+// protocol cost: plan export, RPC round trips, remote phase 1, delta
+// cross-check. On a single-core host the interesting number is the
+// overhead ratio; wall-clock wins need workers on other machines.
+func figCluster(cfg Config) (*Result, error) {
+	g, err := gen.Dataset("synthetic", 0.4*cfg.scale(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g = cfg.tune(g)
+	if g.NumShards() == 1 {
+		// Distribution needs shards to ship; default to the differential
+		// test's partitioning when the run asked for the unsharded baseline.
+		g.SetShards(8)
+	}
+	pcts := clip(cfg, deltaPcts)
+	batches := pctBatches(g, pcts, cfg.Seed+100)
+	runners := []runner{
+		{"SingleProc", func(g *graph.Graph, b graph.Batch) (sample, error) {
+			h := g.Clone()
+			return timed(func() error { return h.ApplyBatch(b) })
+		}},
+		{"Cluster2w", func(g *graph.Graph, b graph.Batch) (sample, error) {
+			h := g.Clone()
+			links, _, stop := cluster.InProcess(2)
+			defer stop()
+			co, err := cluster.NewCoordinator(h, links)
+			if err != nil {
+				return sample{}, err
+			}
+			defer co.Close()
+			return timed(func() error {
+				return co.Apply(b, func(bb graph.Batch) error { return h.ApplyBatch(bb) })
+			})
+		}},
+	}
+	series, err := sweep(g, batches, runners)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]string, len(pcts))
+	for i, p := range pcts {
+		x[i] = fmt.Sprintf("%d%%", p)
+	}
+	res := &Result{
+		ID:     "cluster",
+		Title:  fmt.Sprintf("distributed ΔG apply — coordinator + 2 shard workers vs single process (synthetic |V|=%d |E|=%d, %d shards)", g.NumNodes(), g.NumEdges(), g.NumShards()),
+		XLabel: "|ΔG|/|G|",
+		X:      x,
+		Series: series,
+	}
+	var tot float64
+	for i := range pcts {
+		if series[0].Seconds[i] > 0 {
+			tot += series[1].Seconds[i] / series[0].Seconds[i]
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("cluster/single overhead ratio: avg %.2fx over the sweep (in-process transport; single host)", tot/float64(len(pcts))))
+	return res, nil
+}

@@ -32,24 +32,24 @@ const (
 
 func kwsRunners(q kws.Query) []runner {
 	return []runner{
-		{"IncKWS", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncKWS", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			ix, err := kws.Build(g.Clone(), q, nil)
 			if err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { _, err := ix.Apply(b); return err })
 		}},
-		{"IncKWSn", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncKWSn", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			ix, err := kws.Build(g.Clone(), q, nil)
 			if err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { _, err := ix.ApplyUnitwise(b); return err })
 		}},
-		{"BLINKS", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"BLINKS", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			h := g.Clone()
 			if err := h.ApplyBatch(b); err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			// The batch output Q(G) is a set of match *trees*: the batch
 			// run pays their materialization for every root, where the
@@ -70,24 +70,24 @@ func kwsRunners(q kws.Query) []runner {
 
 func rpqRunners(ast *rex.Ast) []runner {
 	return []runner{
-		{"IncRPQ", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncRPQ", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			e, err := rpq.NewEngine(g.Clone(), ast, nil)
 			if err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { _, err := e.Apply(b); return err })
 		}},
-		{"IncRPQn", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncRPQn", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			e, err := rpq.NewEngine(g.Clone(), ast, nil)
 			if err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { _, err := e.ApplyUnitwise(b); return err })
 		}},
-		{"RPQNFA", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"RPQNFA", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			h := g.Clone()
 			if err := h.ApplyBatch(b); err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { _, err := rpq.BatchAnswer(h, ast, nil); return err })
 		}},
@@ -96,22 +96,22 @@ func rpqRunners(ast *rex.Ast) []runner {
 
 func sccRunners() []runner {
 	return []runner{
-		{"IncSCC", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncSCC", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			s := scc.Build(g.Clone(), nil)
 			return timed(func() error { _, err := s.Apply(b); return err })
 		}},
-		{"IncSCCn", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncSCCn", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			s := scc.Build(g.Clone(), nil)
 			return timed(func() error { _, err := s.ApplyUnitwise(b); return err })
 		}},
-		{"Tarjan", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"Tarjan", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			h := g.Clone()
 			if err := h.ApplyBatch(b); err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { scc.Components(h); return nil })
 		}},
-		{"DynSCC", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"DynSCC", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			d := scc.BuildDyn(g.Clone(), nil)
 			return timed(func() error { return d.Apply(b) })
 		}},
@@ -120,18 +120,18 @@ func sccRunners() []runner {
 
 func isoRunners(p *iso.Pattern) []runner {
 	return []runner{
-		{"IncISO", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncISO", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			ix := iso.Build(g.Clone(), p, nil)
 			return timed(func() error { _, err := ix.Apply(b); return err })
 		}},
-		{"IncISOn", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"IncISOn", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			ix := iso.Build(g.Clone(), p, nil)
 			return timed(func() error { _, err := ix.ApplyUnitwise(b); return err })
 		}},
-		{"VF2", func(g *graph.Graph, b graph.Batch) (float64, error) {
+		{"VF2", func(g *graph.Graph, b graph.Batch) (sample, error) {
 			h := g.Clone()
 			if err := h.ApplyBatch(b); err != nil {
-				return 0, err
+				return sample{}, err
 			}
 			return timed(func() error { iso.BatchAnswer(h, p, nil); return nil })
 		}},
@@ -324,6 +324,7 @@ func appendPoint(lines []Series, point []Series) []Series {
 	}
 	for i := range lines {
 		lines[i].Seconds = append(lines[i].Seconds, point[i].Seconds[0])
+		lines[i].Allocs = append(lines[i].Allocs, point[i].Allocs[0])
 	}
 	return lines
 }
@@ -415,9 +416,12 @@ func figUnit(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		res.X = append(res.X, c.name)
+		bi := len(series) - 1 - boolToInt(len(series) == 4)
 		inc.Seconds = append(inc.Seconds, series[0].Seconds[0])
-		batch.Seconds = append(batch.Seconds, series[len(series)-1-boolToInt(len(series) == 4)].Seconds[0])
-		sp := series[len(series)-1-boolToInt(len(series) == 4)].Seconds[0] / maxf(series[0].Seconds[0], 1e-9)
+		inc.Allocs = append(inc.Allocs, series[0].Allocs[0])
+		batch.Seconds = append(batch.Seconds, series[bi].Seconds[0])
+		batch.Allocs = append(batch.Allocs, series[bi].Allocs[0])
+		sp := series[bi].Seconds[0] / maxf(series[0].Seconds[0], 1e-9)
 		res.Notes = append(res.Notes, fmt.Sprintf("%s: unit-update speedup %.0fx", c.name, sp))
 	}
 	res.Series = []Series{inc, batch}
@@ -471,7 +475,9 @@ func figOpt(cfg Config) (*Result, error) {
 		}
 		res.X = append(res.X, c.name)
 		grouped.Seconds = append(grouped.Seconds, series[0].Seconds[0])
+		grouped.Allocs = append(grouped.Allocs, series[0].Allocs[0])
 		unitwise.Seconds = append(unitwise.Seconds, series[1].Seconds[0])
+		unitwise.Allocs = append(unitwise.Allocs, series[1].Allocs[0])
 		total += series[1].Seconds[0] / maxf(series[0].Seconds[0], 1e-9)
 	}
 	res.Series = []Series{grouped, unitwise}
@@ -520,6 +526,7 @@ var registry = map[string]func(Config) (*Result, error){
 	"opt":      figOpt,
 	"ablation": figAblation,
 	"store":    figStore,
+	"cluster":  figCluster,
 }
 
 // figAblation measures the design choices DESIGN.md calls out: the
@@ -546,7 +553,7 @@ func figAblation(cfg Config) (*Result, error) {
 	run := func(label string, batch graph.Batch, repair, unitwise bool) error {
 		s := scc.Build(g.Clone(), nil)
 		s.SetTreeArcRepair(repair)
-		secs, err := timed(func() error {
+		m, err := timed(func() error {
 			if unitwise {
 				_, err := s.ApplyUnitwise(batch)
 				return err
@@ -558,7 +565,8 @@ func figAblation(cfg Config) (*Result, error) {
 			return err
 		}
 		res.X = append(res.X, label)
-		line.Seconds = append(line.Seconds, secs)
+		line.Seconds = append(line.Seconds, m.secs)
+		line.Allocs = append(line.Allocs, m.allocs)
 		return nil
 	}
 	// The tree-arc repair acts on the per-unit path; grouped batches

@@ -24,8 +24,8 @@ func figStore(cfg Config) (*Result, error) {
 		Title:  "snapshot load vs text rebuild (synthetic, |E| = 5|V|)",
 		XLabel: "|V|",
 	}
-	textRead := Series{Name: "text-read", Seconds: make([]float64, len(sizes))}
-	snapLoad := Series{Name: "snap-load", Seconds: make([]float64, len(sizes))}
+	textRead := Series{Name: "text-read", Seconds: make([]float64, len(sizes)), Allocs: make([]uint64, len(sizes))}
+	snapLoad := Series{Name: "snap-load", Seconds: make([]float64, len(sizes)), Allocs: make([]uint64, len(sizes))}
 	var sizeNote string
 	for i, n := range sizes {
 		nodes := int(float64(n) * cfg.scale())
@@ -46,7 +46,7 @@ func figStore(cfg Config) (*Result, error) {
 			return nil, err
 		}
 
-		secs, err := timed(func() error {
+		m, err := timed(func() error {
 			h, err := graph.Read(bytes.NewReader(text.Bytes()))
 			if err == nil && h.NumNodes() != g.NumNodes() {
 				err = fmt.Errorf("text read lost nodes")
@@ -56,9 +56,10 @@ func figStore(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		textRead.Seconds[i] = secs
+		textRead.Seconds[i] = m.secs
+		textRead.Allocs[i] = m.allocs
 
-		secs, err = timed(func() error {
+		m, err = timed(func() error {
 			h, err := store.ReadSnapshot(bytes.NewReader(snap.Bytes()), int64(snap.Len()))
 			if err == nil && h.NumNodes() != g.NumNodes() {
 				err = fmt.Errorf("snapshot load lost nodes")
@@ -68,7 +69,8 @@ func figStore(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		snapLoad.Seconds[i] = secs
+		snapLoad.Seconds[i] = m.secs
+		snapLoad.Allocs[i] = m.allocs
 		sizeNote = fmt.Sprintf("at |V|=%d: text %d bytes, snap %d bytes", g.NumNodes(), text.Len(), snap.Len())
 	}
 	res.Series = []Series{textRead, snapLoad}

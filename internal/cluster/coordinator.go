@@ -1,0 +1,705 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incgraph/internal/graph"
+	"incgraph/internal/store"
+)
+
+// Link is one worker connection handed to NewCoordinator. Redial, when
+// non-nil, lets the coordinator re-establish a lost session (a restarted
+// worker comes back empty and is re-placed from authoritative segments);
+// without it any session loss — a crash, a timed-out RPC or health poll —
+// is permanent for the coordinator's lifetime, so set it outside tests
+// (Dial and InProcess always do).
+type Link struct {
+	Conn   net.Conn
+	Redial func() (net.Conn, error)
+	// Name labels the worker in errors and stats (an address, usually).
+	Name string
+}
+
+// workerLink is the coordinator's per-worker session state. Its mutex
+// serializes requests on the connection (the protocol is one request in
+// flight per session); coordinator scheduling state lives under
+// Coordinator.mu, and no code path holds Coordinator.mu while taking a
+// link mutex.
+type workerLink struct {
+	name   string
+	redial func() (net.Conn, error)
+	// redialMu serializes reattachment so concurrent batches discovering
+	// the same downed worker produce one session, fully handshaken and
+	// reconciled before it is published.
+	redialMu sync.Mutex
+	// mu serializes requests: one in flight per session.
+	mu sync.Mutex
+	// connMu guards the session fields below. It is held only for field
+	// access, never across I/O — so Close (and failure marking) can always
+	// interrupt an in-flight RPC by closing the conn under connMu while
+	// the request goroutine is blocked inside roundTrip holding mu.
+	connMu sync.Mutex
+	conn   net.Conn
+	down   bool
+}
+
+// session returns the live connection, or an error when the link is down.
+func (l *workerLink) session() (net.Conn, error) {
+	l.connMu.Lock()
+	defer l.connMu.Unlock()
+	if l.down || l.conn == nil {
+		return nil, fmt.Errorf("cluster: worker %s is down", l.name)
+	}
+	return l.conn, nil
+}
+
+// fail marks the session down (if conn is still current) and closes it.
+func (l *workerLink) fail(conn net.Conn) {
+	l.connMu.Lock()
+	if l.conn == conn {
+		l.down = true
+	}
+	l.connMu.Unlock()
+	conn.Close()
+}
+
+// rpcTimeout bounds one request round trip. A worker that is stalled
+// rather than dead (SIGSTOP, network black hole) must not wedge the
+// coordinator: past the deadline the request errors, the link is marked
+// down, and the batch aborts through the usual resync path.
+const rpcTimeout = 60 * time.Second
+
+// rpcDeadline scales the round-trip deadline with the request size, so a
+// multi-hundred-MB shard parcel on a slow link gets proportionally longer
+// than a 20-byte stat poll instead of timing out forever on retry: the
+// base covers latency and the response, plus one second per MiB shipped
+// (a ≥1 MiB/s floor on usable links).
+func rpcDeadline(reqBytes int) time.Time {
+	return time.Now().Add(rpcTimeout + time.Duration(reqBytes>>20)*time.Second)
+}
+
+// request performs one round trip, marking the link down on transport
+// failure (remote errors leave the session usable).
+func (l *workerLink) request(req []byte) (*reader, error) {
+	return l.requestHint(req, 0)
+}
+
+// requestHint is request with a response-size hint: exports return whole
+// parcels, so their deadline must scale with the expected response the
+// way a placement's scales with its request.
+func (l *workerLink) requestHint(req []byte, respHint int) (*reader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	conn, err := l.session()
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(rpcDeadline(len(req) + respHint))
+	r, err := roundTrip(conn, req)
+	conn.SetDeadline(time.Time{})
+	if err != nil && !IsRemote(err) {
+		l.fail(conn)
+	}
+	return r, err
+}
+
+// Coordinator drives the distributed two-phase batch protocol over a set
+// of shard workers while keeping the authoritative full graph locally (the
+// serving side: engines, WAL, resync source). See the package comment for
+// the state contract.
+type Coordinator struct {
+	g       *graph.Graph
+	workers []*workerLink
+
+	// mu guards the scheduling state below; cond wakes batches waiting for
+	// their shards to free up.
+	mu   sync.Mutex
+	cond *sync.Cond
+	// assign maps shard index → worker index.
+	assign []int
+	// busy marks shards of in-flight batches: two batches proceed
+	// concurrently iff their TouchedShards sets are disjoint.
+	busy []bool
+	// dirty marks shards whose remote replica diverged (aborted batch,
+	// worker restart); they are re-placed before next use.
+	dirty []bool
+
+	// commitMu serializes the local commit (phase 2 + the caller's
+	// mutation of the authoritative graph and engines); the remote phase 1
+	// of disjoint batches overlaps freely around it.
+	commitMu sync.Mutex
+
+	applied    atomic.Uint64
+	remoteErrs atomic.Uint64
+	resyncs    atomic.Uint64
+}
+
+// NewCoordinator attaches the links as shard workers of g: it handshakes
+// each one at g's shard count and places every shard round-robin. g stays
+// owned by the caller (it is the graph the engines and the durability
+// layer see); the coordinator only requires that Apply is the sole
+// mutation path while the cluster is attached.
+func NewCoordinator(g *graph.Graph, links []Link) (*Coordinator, error) {
+	if len(links) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	p := g.NumShards()
+	c := &Coordinator{
+		g:      g,
+		assign: make([]int, p),
+		busy:   make([]bool, p),
+		dirty:  make([]bool, p),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i, l := range links {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("worker-%d", i)
+		}
+		c.workers = append(c.workers, &workerLink{name: name, redial: l.Redial, conn: l.Conn})
+	}
+	held := make([]map[int]bool, len(c.workers))
+	for i, l := range c.workers {
+		owned, err := c.hello(l)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %s: %w", l.name, err)
+		}
+		held[i] = owned
+	}
+	// Initial placement fans out per worker, like phase 1: requests to
+	// distinct workers are independent (same-link requests serialize on
+	// the link mutex), so startup costs the slowest worker, not the sum.
+	byWorker := make([][]int, len(c.workers))
+	for s := 0; s < p; s++ {
+		c.assign[s] = s % len(c.workers)
+		byWorker[c.assign[s]] = append(byWorker[c.assign[s]], s)
+	}
+	placeErrs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i := range c.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, s := range byWorker[i] {
+				if err := c.place(c.workers[i], s); err != nil {
+					placeErrs[i] = fmt.Errorf("cluster: placing shard %d: %w", s, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range placeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A pre-populated worker (coordinator restart against still-running
+	// workers) may hold replicas now assigned elsewhere: drop them so its
+	// self-reported stats and memory reflect the new assignment, exactly
+	// as ensureUp reconciles after a redial.
+	for i, l := range c.workers {
+		for s := range held[i] {
+			if s < p && c.assign[s] != i {
+				l.request(appendUvarint([]byte{byte(msgDrop)}, uint64(s)))
+			}
+		}
+	}
+	return c, nil
+}
+
+// hello opens a session at the coordinator's shard count and returns the
+// shards the worker already holds.
+func (c *Coordinator) hello(l *workerLink) (map[int]bool, error) {
+	r, err := l.request(encodeHello(c.g.NumShards()))
+	if err != nil {
+		return nil, err
+	}
+	return decodeOwned(r)
+}
+
+// decodeOwned parses a hello response into an owned-shard set.
+func decodeOwned(r *reader) (map[int]bool, error) {
+	shards, err := decodeShardList(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	owned := make(map[int]bool, len(shards))
+	for _, s := range shards {
+		owned[s] = true
+	}
+	return owned, nil
+}
+
+// place ships the authoritative segment of shard s to l. The caller must
+// hold shard s (busy) or be inside NewCoordinator/reattach.
+func (c *Coordinator) place(l *workerLink, s int) error {
+	parcel, err := store.EncodeShardParcel(c.g, s)
+	if err != nil {
+		return err
+	}
+	req := appendUvarint([]byte{byte(msgPlace)}, uint64(s))
+	r, err := l.request(append(req, parcel...))
+	if err != nil {
+		return err
+	}
+	return r.done()
+}
+
+// NumWorkers returns the worker count.
+func (c *Coordinator) NumWorkers() int { return len(c.workers) }
+
+// WorkerOf returns the index of the worker shard s is assigned to.
+func (c *Coordinator) WorkerOf(s int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.assign[s]
+}
+
+// Applied returns the number of batches committed through the cluster.
+func (c *Coordinator) Applied() uint64 { return c.applied.Load() }
+
+// RemoteErrors returns the number of failed remote operations observed.
+func (c *Coordinator) RemoteErrors() uint64 { return c.remoteErrs.Load() }
+
+// Resyncs returns the number of shard re-placements performed after
+// divergence (aborted batches, worker restarts).
+func (c *Coordinator) Resyncs() uint64 { return c.resyncs.Load() }
+
+// acquire blocks until every shard in touched is free, then marks them
+// busy. touched must be sorted and duplicate-free (TouchedShards is).
+func (c *Coordinator) acquire(touched []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		free := true
+		for _, s := range touched {
+			if c.busy[s] {
+				free = false
+				break
+			}
+		}
+		if free {
+			break
+		}
+		c.cond.Wait()
+	}
+	for _, s := range touched {
+		c.busy[s] = true
+	}
+}
+
+// release frees the shards and wakes waiting batches.
+func (c *Coordinator) release(touched []int) {
+	c.mu.Lock()
+	for _, s := range touched {
+		c.busy[s] = false
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// markDirty flags shards whose remote replica can no longer be trusted.
+func (c *Coordinator) markDirty(shards []int) {
+	c.mu.Lock()
+	for _, s := range shards {
+		c.dirty[s] = true
+	}
+	c.mu.Unlock()
+}
+
+// ensureUp reconnects a downed worker: redial, hello, then reconcile —
+// assigned shards the (possibly restarted) worker no longer holds are
+// marked dirty for re-placement, and holdovers from a previous assignment
+// are dropped best-effort. The new session is published only after the
+// handshake AND the dirty marks are in place: a concurrent disjoint batch
+// must never reach a reattached worker that has not been helloed, nor see
+// the link up before its lost shards are flagged for resync.
+func (c *Coordinator) ensureUp(w int) error {
+	l := c.workers[w]
+	l.redialMu.Lock()
+	defer l.redialMu.Unlock()
+	if _, err := l.session(); err == nil {
+		return nil
+	}
+	if l.redial == nil {
+		return fmt.Errorf("cluster: worker %s is down and has no redial path", l.name)
+	}
+	conn, err := l.redial()
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s: redial: %w", l.name, err)
+	}
+	// Handshake on the private, not-yet-published connection.
+	conn.SetDeadline(rpcDeadline(0))
+	r, err := roundTrip(conn, encodeHello(c.g.NumShards()))
+	conn.SetDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: worker %s: hello: %w", l.name, err)
+	}
+	owned, err := decodeOwned(r)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: worker %s: hello: %w", l.name, err)
+	}
+	var stale []int
+	c.mu.Lock()
+	for s, wi := range c.assign {
+		if wi == w && !owned[s] {
+			c.dirty[s] = true
+		}
+		if wi != w && owned[s] {
+			stale = append(stale, s)
+		}
+	}
+	c.mu.Unlock()
+	l.connMu.Lock()
+	l.conn = conn
+	l.down = false
+	l.connMu.Unlock()
+	for _, s := range stale {
+		req := appendUvarint([]byte{byte(msgDrop)}, uint64(s))
+		l.request(req) // best-effort: a stale replica is inert
+	}
+	return nil
+}
+
+// prepareShards brings the remote side of the touched shards current:
+// reconnect downed owners, re-place dirty replicas. Caller holds the
+// shards busy. Never holds c.mu across an RPC.
+func (c *Coordinator) prepareShards(touched []int) error {
+	c.mu.Lock()
+	owner := make([]int, len(touched))
+	for i, s := range touched {
+		owner[i] = c.assign[s]
+	}
+	c.mu.Unlock()
+	// Reconnect downed owners first; a reattach may mark further shards
+	// dirty (a restarted worker comes back empty).
+	seen := make(map[int]bool, len(owner))
+	for _, w := range owner {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		if _, serr := c.workers[w].session(); serr != nil {
+			if err := c.ensureUp(w); err != nil {
+				return err
+			}
+		}
+	}
+	// Re-place diverged replicas from the authoritative segments, fanned
+	// out per worker like the initial placement.
+	need := make(map[int][]int)
+	for i, s := range touched {
+		c.mu.Lock()
+		needs := c.dirty[s]
+		c.mu.Unlock()
+		if needs {
+			need[owner[i]] = append(need[owner[i]], s)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w, shards := range need {
+		wg.Add(1)
+		go func(w int, shards []int) {
+			defer wg.Done()
+			for _, s := range shards {
+				if err := c.place(c.workers[w], s); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster: resync shard %d on %s: %w", s, c.workers[w].name, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				c.resyncs.Add(1)
+				c.mu.Lock()
+				c.dirty[s] = false
+				c.mu.Unlock()
+			}
+		}(w, shards)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Apply runs one batch through the distributed two-phase protocol:
+//
+//  1. The touched shards are locked (batches with disjoint TouchedShards
+//     proceed concurrently), downed workers are reattached and diverged
+//     replicas re-placed from authoritative segments.
+//  2. The batch is validated and compiled into per-shard effects
+//     (graph.PlanShardEffects) against the authoritative graph.
+//  3. Phase 1 fans the effects out to the owning workers in parallel;
+//     every worker applies its shards' slices and reports per-shard
+//     edge-count deltas, which are cross-checked against the plan.
+//  4. Only after every worker acknowledged does commit run (serialized
+//     across batches): the caller's local application — the same
+//     ApplyBatch phase-2 merge in shard order, plus engines and WAL —
+//     making the distributed result byte-identical to single-process.
+//
+// Failure anywhere before commit aborts the batch atomically: commit never
+// runs, the authoritative graph is untouched, and every shard the batch
+// planned to touch is marked for re-placement (workers that applied the
+// aborted effects are resynced before those shards are used again).
+func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error {
+	touched := b.TouchedShards(c.g)
+	c.acquire(touched)
+	defer c.release(touched)
+
+	if err := c.prepareShards(touched); err != nil {
+		c.remoteErrs.Add(1)
+		return err
+	}
+
+	effs, ok := c.g.PlanShardEffects(b)
+	if !ok {
+		if err := c.g.ValidateBatch(b); err != nil {
+			return err
+		}
+		return fmt.Errorf("cluster: batch plan failed without a validation error")
+	}
+
+	// Group per owning worker, preserving shard order within each group.
+	perWorker := make(map[int][]graph.ShardEffects)
+	var workerIDs []int
+	c.mu.Lock()
+	for _, e := range effs {
+		w := c.assign[e.Shard]
+		if _, seen := perWorker[w]; !seen {
+			workerIDs = append(workerIDs, w)
+		}
+		perWorker[w] = append(perWorker[w], e)
+	}
+	c.mu.Unlock()
+	sort.Ints(workerIDs)
+
+	// Phase 1: fan out in parallel, one request per involved worker.
+	deltas := make([]map[int]int, len(workerIDs))
+	errs := make([]error, len(workerIDs))
+	var wg sync.WaitGroup
+	for i, w := range workerIDs {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			r, err := c.workers[w].request(encodeApply(perWorker[w]))
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: phase 1 on %s: %w", c.workers[w].name, err)
+				return
+			}
+			deltas[i], errs[i] = decodeDeltas(r)
+		}(i, w)
+	}
+	wg.Wait()
+
+	abort := func(err error) error {
+		shards := make([]int, len(effs))
+		for i, e := range effs {
+			shards[i] = e.Shard
+		}
+		c.markDirty(shards)
+		c.remoteErrs.Add(1)
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return abort(err)
+		}
+	}
+
+	// Phase 2 cross-check: the per-shard deltas are a pure function of the
+	// plan; a mismatch means the replica diverged from the authoritative
+	// shard. Checked in shard order, like the merge itself.
+	for i, w := range workerIDs {
+		for _, e := range perWorker[w] {
+			want := e.EdgeDelta(c.g)
+			got, present := deltas[i][e.Shard]
+			if !present || got != want {
+				return abort(fmt.Errorf("cluster: shard %d on %s diverged: edge delta %d, want %d",
+					e.Shard, c.workers[w].name, got, want))
+			}
+		}
+	}
+
+	// Commit: the local, authoritative application — serialized, because
+	// it merges into graph-global state.
+	c.commitMu.Lock()
+	err := commit(b)
+	c.commitMu.Unlock()
+	if err != nil {
+		// Workers applied a batch the authoritative side rejected.
+		return abort(fmt.Errorf("cluster: commit failed after phase 1; resyncing: %w", err))
+	}
+	c.applied.Add(1)
+	return nil
+}
+
+// MoveShard rebalances shard s onto worker w: the authoritative segment is
+// shipped to the new owner, the old replica is dropped (best-effort), and
+// the assignment flips. Safe between and during Apply traffic — the shard
+// is locked like a batch touching it.
+func (c *Coordinator) MoveShard(s, w int) error {
+	if s < 0 || s >= c.g.NumShards() {
+		return fmt.Errorf("cluster: MoveShard: shard %d out of range [0,%d)", s, c.g.NumShards())
+	}
+	if w < 0 || w >= len(c.workers) {
+		return fmt.Errorf("cluster: MoveShard: worker %d out of range [0,%d)", w, len(c.workers))
+	}
+	touched := []int{s}
+	c.acquire(touched)
+	defer c.release(touched)
+	c.mu.Lock()
+	old := c.assign[s]
+	c.mu.Unlock()
+	if old == w {
+		return nil
+	}
+	if err := c.ensureUp(w); err != nil {
+		return err
+	}
+	if err := c.place(c.workers[w], s); err != nil {
+		c.remoteErrs.Add(1)
+		return fmt.Errorf("cluster: MoveShard: placing shard %d on %s: %w", s, c.workers[w].name, err)
+	}
+	c.mu.Lock()
+	c.assign[s] = w
+	c.dirty[s] = false
+	c.mu.Unlock()
+	req := appendUvarint([]byte{byte(msgDrop)}, uint64(s))
+	c.workers[old].request(req) // best-effort: stale replicas are inert
+	return nil
+}
+
+// VerifyShard compares the remote replica of shard s against the
+// authoritative local segment, byte for byte (parcels are deterministic).
+// It is the distributed analogue of the snapshot round-trip check.
+func (c *Coordinator) VerifyShard(s int) error {
+	if s < 0 || s >= c.g.NumShards() {
+		return fmt.Errorf("cluster: VerifyShard: shard %d out of range [0,%d)", s, c.g.NumShards())
+	}
+	touched := []int{s}
+	c.acquire(touched)
+	defer c.release(touched)
+	c.mu.Lock()
+	w := c.assign[s]
+	c.mu.Unlock()
+	want, err := store.EncodeShardParcel(c.g, s)
+	if err != nil {
+		return err
+	}
+	r, err := c.workers[w].requestHint(appendUvarint([]byte{byte(msgExport)}, uint64(s)), len(want))
+	if err != nil {
+		return fmt.Errorf("cluster: export shard %d from %s: %w", s, c.workers[w].name, err)
+	}
+	if got := r.rest(); !bytes.Equal(got, want) {
+		return fmt.Errorf("cluster: shard %d on %s diverged: parcel %d bytes != authoritative %d bytes",
+			s, c.workers[w].name, len(got), len(want))
+	}
+	return nil
+}
+
+// VerifyAll runs VerifyShard over every shard.
+func (c *Coordinator) VerifyAll() error {
+	for s := 0; s < c.g.NumShards(); s++ {
+		if err := c.VerifyShard(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stat is one worker's view in Stats.
+type Stat struct {
+	Name string
+	// Down reports a broken session awaiting redial.
+	Down bool
+	// Busy reports a link mid-request (a large placement, a slow phase 1):
+	// the worker is up but was not polled, so Remote is zero-valued.
+	Busy bool
+	// Assigned is the number of shards assigned to this worker.
+	Assigned int
+	// Remote is the worker's self-report; zero-valued when Down or Busy.
+	Remote WorkerStat
+}
+
+// statTimeout bounds one health poll: operators read stats during
+// incidents, exactly when a full rpcTimeout wait is unaffordable. A poll
+// that times out closes the session (a late response would desync the
+// request/response stream), which the next batch heals via redial —
+// links without a Redial path lose the worker permanently, one reason
+// Link.Redial is strongly recommended outside tests.
+const statTimeout = 5 * time.Second
+
+// Stats polls every worker (best-effort, short deadline, never queuing
+// behind an in-flight request) and returns per-worker stats.
+func (c *Coordinator) Stats() []Stat {
+	out := make([]Stat, len(c.workers))
+	c.mu.Lock()
+	assigned := make([]int, len(c.workers))
+	for _, w := range c.assign {
+		assigned[w]++
+	}
+	c.mu.Unlock()
+	for i, l := range c.workers {
+		st := Stat{Name: l.name, Assigned: assigned[i]}
+		if !l.mu.TryLock() {
+			st.Busy = true
+			out[i] = st
+			continue
+		}
+		conn, err := l.session()
+		if err != nil {
+			l.mu.Unlock()
+			st.Down = true
+			out[i] = st
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(statTimeout))
+		r, rerr := roundTrip(conn, []byte{byte(msgStat)})
+		conn.SetDeadline(time.Time{})
+		if rerr != nil && !IsRemote(rerr) {
+			l.fail(conn)
+		}
+		l.mu.Unlock()
+		if rerr != nil {
+			st.Down = true
+		} else if remote, derr := decodeStat(r); derr == nil {
+			st.Remote = remote
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Close tears down every worker session. It takes only connMu — never the
+// request mutex — so an RPC in flight to a stalled worker is interrupted
+// (its blocked read fails as the conn closes) instead of pinning shutdown
+// until the RPC deadline expires.
+func (c *Coordinator) Close() error {
+	for _, l := range c.workers {
+		l.connMu.Lock()
+		if l.conn != nil {
+			l.conn.Close()
+			l.down = true
+		}
+		l.connMu.Unlock()
+	}
+	return nil
+}

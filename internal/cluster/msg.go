@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"incgraph/internal/graph"
+)
+
+// Wire messages. Every frame payload is one message: a type byte followed
+// by a type-specific body (little-endian fixed ints, varints for counts
+// and IDs — the same conventions as the WAL and snapshot codecs). The
+// protocol is strict request/response: the coordinator sends one request
+// per connection at a time and the worker answers with msgOK (body per
+// request type) or msgErr (UTF-8 error text). Labels travel as strings:
+// LabelIDs are process-local.
+
+// protocolVersion guards the wire format; hello rejects mismatches.
+const protocolVersion = 1
+
+type msgType byte
+
+const (
+	// msgHello opens a session: u32 version, u32 shard count P. The worker
+	// adopts P (fresh container graph if it had none or a different P) and
+	// answers with its currently owned shards.
+	msgHello msgType = iota + 1
+	// msgPlace installs an authoritative shard replica: uvarint shard,
+	// then a store.EncodeShardParcel body. Replaces any existing copy.
+	msgPlace
+	// msgDrop removes a shard replica: uvarint shard.
+	msgDrop
+	// msgApply runs phase 1 for the listed shards: the ShardEffects slices
+	// of one planned batch. The worker answers with per-shard edge deltas.
+	msgApply
+	// msgExport returns the parcel of an owned shard: uvarint shard.
+	msgExport
+	// msgStat reports owned shards with node counts and counters.
+	msgStat
+	// msgOK acknowledges a request; body depends on the request type.
+	msgOK
+	// msgErr reports a request-level failure; body is the error text. The
+	// connection remains usable.
+	msgErr
+)
+
+// ErrProtocol reports a semantically malformed message: unknown type,
+// truncated body, value out of range.
+var ErrProtocol = errors.New("cluster: protocol error")
+
+// remoteError wraps an msgErr body so callers can distinguish "the worker
+// said no" (state divergence, bad request) from transport failure.
+type remoteError string
+
+func (e remoteError) Error() string { return "cluster: remote: " + string(e) }
+
+// IsRemote reports whether err is a worker-reported error rather than a
+// transport or framing failure.
+func IsRemote(err error) bool {
+	var re remoteError
+	return errors.As(err, &re)
+}
+
+// ---- body codecs -------------------------------------------------------
+
+// reader walks a message body with truncation-checked reads.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrProtocol, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrProtocol, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated at %d", ErrProtocol, r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("%w: truncated at %d", ErrProtocol, r.off)
+	}
+	out := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *reader) rest() []byte { return r.buf[r.off:] }
+
+func (r *reader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// encodeHello builds the hello request body.
+func encodeHello(shards int) []byte {
+	buf := []byte{byte(msgHello)}
+	buf = binary.LittleEndian.AppendUint32(buf, protocolVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(shards))
+	return buf
+}
+
+// decodeHello parses a hello body (type byte already consumed).
+func decodeHello(r *reader) (version, shards uint32, err error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:]), r.done()
+}
+
+// encodeShardList is the hello/stat-style "uvarint count + shards" body.
+func encodeShardList(buf []byte, shards []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(shards)))
+	for _, s := range shards {
+		buf = binary.AppendUvarint(buf, uint64(s))
+	}
+	return buf
+}
+
+func decodeShardList(r *reader) ([]int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)) {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrProtocol, n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(s)
+	}
+	return out, nil
+}
+
+// encodeApply builds the apply request: every ShardEffects slice of one
+// planned batch destined for a single worker.
+func encodeApply(effs []graph.ShardEffects) []byte {
+	buf := []byte{byte(msgApply)}
+	buf = binary.AppendUvarint(buf, uint64(len(effs)))
+	for _, e := range effs {
+		buf = binary.AppendUvarint(buf, uint64(e.Shard))
+		buf = binary.AppendUvarint(buf, uint64(len(e.NewNodes)))
+		for _, n := range e.NewNodes {
+			buf = binary.AppendVarint(buf, int64(n.ID))
+			buf = binary.AppendUvarint(buf, uint64(len(n.Label)))
+			buf = append(buf, n.Label...)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Ops)))
+		for _, op := range e.Ops {
+			if op.Op == graph.Insert {
+				buf = append(buf, 0)
+			} else {
+				buf = append(buf, 1)
+			}
+			buf = binary.AppendVarint(buf, int64(op.From))
+			buf = binary.AppendVarint(buf, int64(op.To))
+		}
+	}
+	return buf
+}
+
+// decodeApply parses an apply body (type byte already consumed).
+func decodeApply(r *reader) ([]graph.ShardEffects, error) {
+	nShards, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nShards > graph.MaxShards {
+		return nil, fmt.Errorf("%w: apply names %d shards", ErrProtocol, nShards)
+	}
+	out := make([]graph.ShardEffects, nShards)
+	for i := range out {
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		eff := graph.ShardEffects{Shard: int(s)}
+		nNew, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nNew > uint64(len(r.buf)) {
+			return nil, fmt.Errorf("%w: implausible node count %d", ErrProtocol, nNew)
+		}
+		eff.NewNodes = make([]graph.ShardNewNode, nNew)
+		for j := range eff.NewNodes {
+			id, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			l, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			label, err := r.bytes(l)
+			if err != nil {
+				return nil, err
+			}
+			eff.NewNodes[j] = graph.ShardNewNode{ID: graph.NodeID(id), Label: string(label)}
+		}
+		nOps, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nOps > uint64(len(r.buf)) {
+			return nil, fmt.Errorf("%w: implausible op count %d", ErrProtocol, nOps)
+		}
+		eff.Ops = make([]graph.ShardOp, nOps)
+		for j := range eff.Ops {
+			opb, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			from, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			to, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			op := graph.Insert
+			if opb == 1 {
+				op = graph.Delete
+			} else if opb != 0 {
+				return nil, fmt.Errorf("%w: unknown op byte %d", ErrProtocol, opb)
+			}
+			eff.Ops[j] = graph.ShardOp{Op: op, From: graph.NodeID(from), To: graph.NodeID(to)}
+		}
+		out[i] = eff
+	}
+	return out, r.done()
+}
+
+// encodeDeltas builds the apply response: per-shard edge-count deltas in
+// request order.
+func encodeDeltas(shards []int, deltas []int) []byte {
+	buf := []byte{byte(msgOK)}
+	buf = binary.AppendUvarint(buf, uint64(len(shards)))
+	for i, s := range shards {
+		buf = binary.AppendUvarint(buf, uint64(s))
+		buf = binary.AppendVarint(buf, int64(deltas[i]))
+	}
+	return buf
+}
+
+func decodeDeltas(r *reader) (map[int]int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > graph.MaxShards {
+		return nil, fmt.Errorf("%w: %d delta entries", ErrProtocol, n)
+	}
+	out := make(map[int]int, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		d, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		out[int(s)] = int(d)
+	}
+	return out, r.done()
+}
+
+// WorkerStat is one worker's self-report: owned shards with node counts
+// plus lifetime counters.
+type WorkerStat struct {
+	// Shards maps owned shard index to its node count.
+	Shards map[int]int
+	// Applied counts phase-1 batch applications since start.
+	Applied uint64
+	// Errors counts requests the worker rejected since start.
+	Errors uint64
+}
+
+func encodeStat(st WorkerStat) []byte {
+	buf := []byte{byte(msgOK)}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Shards)))
+	// Deterministic order keeps responses reproducible for tests.
+	keys := make([]int, 0, len(st.Shards))
+	for s := range st.Shards {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	for _, s := range keys {
+		buf = binary.AppendUvarint(buf, uint64(s))
+		buf = binary.AppendUvarint(buf, uint64(st.Shards[s]))
+	}
+	buf = binary.AppendUvarint(buf, st.Applied)
+	buf = binary.AppendUvarint(buf, st.Errors)
+	return buf
+}
+
+func decodeStat(r *reader) (WorkerStat, error) {
+	st := WorkerStat{Shards: map[int]int{}}
+	n, err := r.uvarint()
+	if err != nil {
+		return st, err
+	}
+	if n > graph.MaxShards {
+		return st, fmt.Errorf("%w: %d stat entries", ErrProtocol, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		s, err := r.uvarint()
+		if err != nil {
+			return st, err
+		}
+		c, err := r.uvarint()
+		if err != nil {
+			return st, err
+		}
+		st.Shards[int(s)] = int(c)
+	}
+	if st.Applied, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	if st.Errors, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	return st, r.done()
+}

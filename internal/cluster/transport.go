@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transports. The protocol runs over any net.Conn; two constructions are
+// provided: TCP for real deployments (Dial, with a redial path so the
+// coordinator can reattach a restarted worker) and synchronous in-process
+// pipes for deterministic tests and benchmarks (InProcess — no ports, no
+// OS scheduling in the loop beyond goroutines).
+
+// dialTimeout bounds one TCP connection attempt.
+const dialTimeout = 5 * time.Second
+
+// Dial connects to a worker at addr and returns a redialable Link.
+func Dial(addr string) (Link, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return Link{}, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return Link{
+		Conn: conn,
+		Name: addr,
+		Redial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, dialTimeout)
+		},
+	}, nil
+}
+
+// InProcess starts n workers, each served over a synchronous in-memory
+// pipe, and returns coordinator links for them. Redial is wired: closing a
+// link's conn and redialing attaches a fresh pipe to the same worker
+// (state intact), which is what the disconnect/reattach tests exercise.
+// stop tears the serving goroutines down.
+func InProcess(n int) (links []Link, workers []*Worker, stop func()) {
+	var mu sync.Mutex
+	var conns []net.Conn
+	for i := 0; i < n; i++ {
+		w := NewWorker()
+		workers = append(workers, w)
+		attach := func() (net.Conn, error) {
+			client, server := net.Pipe()
+			go func() {
+				defer server.Close()
+				w.ServeConn(server)
+			}()
+			mu.Lock()
+			conns = append(conns, client)
+			mu.Unlock()
+			return client, nil
+		}
+		conn, _ := attach()
+		links = append(links, Link{Conn: conn, Name: fmt.Sprintf("local-%d", i), Redial: attach})
+	}
+	return links, workers, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}

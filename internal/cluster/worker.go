@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"incgraph/internal/graph"
+	"incgraph/internal/store"
+)
+
+// Worker owns a subset of the cluster graph's shards: authoritative node
+// records, slot allocators and adjacency for every shard placed on it, in
+// a shard-container graph whose global indexes are never built (see
+// graph.ApplyShardEffects). It serves the coordinator's RPCs — place,
+// drop, apply (phase 1), export, stat — over any net.Conn; requests from
+// concurrent connections serialize on the worker's mutex, so state
+// transitions are atomic per request.
+type Worker struct {
+	mu      sync.Mutex
+	g       *graph.Graph
+	owned   map[int]bool
+	applied uint64
+	errs    uint64
+}
+
+// NewWorker returns an empty worker; the coordinator's hello sizes it.
+func NewWorker() *Worker {
+	return &Worker{owned: make(map[int]bool)}
+}
+
+// Serve accepts connections until the listener closes, serving each on its
+// own goroutine. It returns the listener's error (net.ErrClosed on a clean
+// shutdown).
+func (w *Worker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			w.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn answers framed requests on conn until EOF or a framing error.
+// Request-level failures (unknown shard, diverged state) are answered with
+// msgErr and the connection stays up; framing errors tear it down — the
+// coordinator treats that as a worker failure and resyncs. Until the
+// connection's first request has been handled successfully (a hello, on a
+// real coordinator), frames are capped small so a stray non-protocol
+// connection cannot provoke a near-gigabyte allocation.
+func (w *Worker) ServeConn(conn io.ReadWriter) error {
+	limit := uint32(preHelloMaxFrame)
+	for {
+		payload, err := readFrame(conn, limit)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if len(payload) == 0 {
+			return fmt.Errorf("%w: empty message", ErrProtocol)
+		}
+		t := msgType(payload[0])
+		resp := w.handle(t, &reader{buf: payload, off: 1})
+		if err := writeFrame(conn, resp); err != nil {
+			return err
+		}
+		// Only a successful hello — the coordinator handshake — earns the
+		// full frame budget; other pre-hello requests (stat works without
+		// one) must not unlock gigabyte allocations for strangers.
+		if t == msgHello && msgType(resp[0]) == msgOK {
+			limit = maxFrame
+		}
+	}
+}
+
+// handle dispatches one request and builds the response frame payload.
+func (w *Worker) handle(t msgType, r *reader) []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	resp, err := w.dispatch(t, r)
+	if err != nil {
+		w.errs++
+		return append([]byte{byte(msgErr)}, err.Error()...)
+	}
+	return resp
+}
+
+func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
+	switch t {
+	case msgHello:
+		version, shards, err := decodeHello(r)
+		if err != nil {
+			return nil, err
+		}
+		if version != protocolVersion {
+			return nil, fmt.Errorf("protocol version %d not supported (have %d)", version, protocolVersion)
+		}
+		if shards < 1 || shards > graph.MaxShards || shards&(shards-1) != 0 {
+			return nil, fmt.Errorf("invalid shard count %d", shards)
+		}
+		if w.g == nil || w.g.NumShards() != int(shards) {
+			// Fresh session with a different partitioning: any held state
+			// is for the wrong shard space, drop it.
+			w.g = graph.NewSharded(int(shards))
+			w.owned = make(map[int]bool)
+		}
+		owned := make([]int, 0, len(w.owned))
+		for s := range w.owned {
+			owned = append(owned, s)
+		}
+		return encodeShardList([]byte{byte(msgOK)}, owned), nil
+
+	case msgPlace:
+		if w.g == nil {
+			return nil, fmt.Errorf("place before hello")
+		}
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if s >= uint64(w.g.NumShards()) {
+			return nil, fmt.Errorf("shard %d out of range [0,%d)", s, w.g.NumShards())
+		}
+		st, err := store.DecodeShardParcel(r.rest(), int(s), w.g.NumShards())
+		if err != nil {
+			return nil, err
+		}
+		w.g.ResetShard(int(s))
+		if err := w.g.LoadShard(int(s), st); err != nil {
+			// A half-loaded shard must not pass for a replica.
+			w.g.ResetShard(int(s))
+			delete(w.owned, int(s))
+			return nil, err
+		}
+		w.owned[int(s)] = true
+		return []byte{byte(msgOK)}, nil
+
+	case msgDrop:
+		if w.g == nil {
+			return nil, fmt.Errorf("drop before hello")
+		}
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		if s >= uint64(w.g.NumShards()) {
+			return nil, fmt.Errorf("shard %d out of range [0,%d)", s, w.g.NumShards())
+		}
+		w.g.ResetShard(int(s))
+		delete(w.owned, int(s))
+		return []byte{byte(msgOK)}, nil
+
+	case msgApply:
+		if w.g == nil {
+			return nil, fmt.Errorf("apply before hello")
+		}
+		effs, err := decodeApply(r)
+		if err != nil {
+			return nil, err
+		}
+		shards := make([]int, len(effs))
+		deltas := make([]int, len(effs))
+		for i, e := range effs {
+			if e.Shard < 0 || e.Shard >= w.g.NumShards() || !w.owned[e.Shard] {
+				return nil, fmt.Errorf("shard %d not placed here", e.Shard)
+			}
+			shards[i] = e.Shard
+		}
+		for i, e := range effs {
+			d, err := w.g.ApplyShardEffects(e)
+			if err != nil {
+				// The shard may be partially applied: disown it so the
+				// coordinator's resync must re-place it before reuse.
+				delete(w.owned, e.Shard)
+				return nil, err
+			}
+			deltas[i] = d
+		}
+		w.applied++
+		return encodeDeltas(shards, deltas), nil
+
+	case msgExport:
+		if w.g == nil {
+			return nil, fmt.Errorf("export before hello")
+		}
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		if s >= uint64(w.g.NumShards()) || !w.owned[int(s)] {
+			return nil, fmt.Errorf("shard %d not placed here", s)
+		}
+		parcel, err := store.EncodeShardParcel(w.g, int(s))
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{byte(msgOK)}, parcel...), nil
+
+	case msgStat:
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		st := WorkerStat{Shards: map[int]int{}, Applied: w.applied, Errors: w.errs}
+		if w.g != nil {
+			for s := range w.owned {
+				st.Shards[s] = w.g.NumShardNodes(s)
+			}
+		}
+		return encodeStat(st), nil
+
+	default:
+		return nil, fmt.Errorf("unknown message type %d", t)
+	}
+}
+
+// roundTrip sends one request frame and decodes the response envelope,
+// returning the msgOK body reader or the worker's remote error. The
+// response cap stays at maxFrame: the peer is a worker this coordinator
+// handshook, and export responses carry whole parcels.
+func roundTrip(conn io.ReadWriter, req []byte) (*reader, error) {
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(conn, maxFrame)
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: connection closed mid-request", ErrFrame)
+		}
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty response", ErrProtocol)
+	}
+	switch msgType(payload[0]) {
+	case msgOK:
+		return &reader{buf: payload, off: 1}, nil
+	case msgErr:
+		return nil, remoteError(payload[1:])
+	default:
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, payload[0])
+	}
+}
+
+// appendUvarint is a tiny helper for request builders.
+func appendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }

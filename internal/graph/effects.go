@@ -1,0 +1,201 @@
+package graph
+
+import "fmt"
+
+// Remote phase-1 hooks. The two-phase ApplyBatch protocol of shard.go was
+// designed so that phase 1 — per-shard application of a validated plan's
+// owned effects — touches nothing but shard-owned state. That is exactly
+// the property a multi-process deployment needs: a coordinator can compile
+// the plan once, ship each shard's slice of it to the worker process
+// owning that shard, and merge the (deterministic) per-shard deltas in
+// shard order locally, producing the same graph as a single-process
+// application. This file exports the per-shard slice of a plan
+// (PlanShardEffects) and its application (ApplyShardEffects) in a
+// wire-friendly form: labels travel as strings because LabelIDs are
+// process-local, exactly as in the snapshot format.
+//
+// A worker's graph is a shard container: it holds authoritative node
+// records, slot allocators and adjacency for the shards placed on it
+// (graph.LoadShard), and nothing else — the graph-global indexes (inverted
+// label index, edge count) are never built, FinishLoad is never called,
+// and cross-shard edges are present only on their owned endpoint's shard.
+// ApplyShardEffects and ResetShard maintain exactly that state and no
+// more.
+
+// ShardNewNode is one node a planned batch creates, with the label of its
+// first mention. Order matters: nodes are created in plan order so slot
+// assignment matches the coordinator's application exactly.
+type ShardNewNode struct {
+	ID    NodeID
+	Label string
+}
+
+// ShardOp is one net edge effect of a planned batch.
+type ShardOp struct {
+	Op       Op
+	From, To NodeID
+}
+
+// ShardEffects is the slice of a validated batch plan owned by one shard:
+// the new nodes hashing to it and every net edge op with an endpoint on
+// it. An op appears in the effects of both endpoint shards when they
+// differ; each side applies only its owned half.
+type ShardEffects struct {
+	Shard    int
+	NewNodes []ShardNewNode
+	Ops      []ShardOp
+}
+
+// EdgeDelta returns the edge-count contribution of applying e to its
+// shard, counted on the From side so each edge counts exactly once across
+// shards. It is a pure function of the plan — the coordinator uses it to
+// cross-check the deltas remote workers report.
+func (e ShardEffects) EdgeDelta(g *Graph) int {
+	d := 0
+	u64si := uint64(e.Shard)
+	for _, op := range e.Ops {
+		if g.shardIdxOf(op.From) != u64si {
+			continue
+		}
+		if op.Op == Insert {
+			d++
+		} else {
+			d--
+		}
+	}
+	return d
+}
+
+// PlanShardEffects validates b against the current graph (the same
+// sequential applicability rule ApplyBatch enforces) and compiles its net
+// effects partitioned by owning shard, in a process-portable form. It is
+// read-only and touches only the shards owning an endpoint of b, so plans
+// for batches with disjoint TouchedShards may be compiled concurrently
+// between mutations. ok is false when the batch would fail partway; use
+// ValidateBatch for the precise error.
+func (g *Graph) PlanShardEffects(b Batch) ([]ShardEffects, bool) {
+	plan, ok := g.planBatch(b)
+	if !ok {
+		return nil, false
+	}
+	var out []ShardEffects
+	for si := range g.shards {
+		nodes, ops := plan.nodesByShard[si], plan.opsByShard[si]
+		if len(nodes) == 0 && len(ops) == 0 {
+			continue
+		}
+		eff := ShardEffects{Shard: si}
+		if len(nodes) > 0 {
+			eff.NewNodes = make([]ShardNewNode, len(nodes))
+			for i, ni := range nodes {
+				n := plan.newNodes[ni]
+				eff.NewNodes[i] = ShardNewNode{ID: n.v, Label: LabelOf(n.lid)}
+			}
+		}
+		if len(ops) > 0 {
+			eff.Ops = make([]ShardOp, len(ops))
+			for i, oi := range ops {
+				op := plan.ops[oi]
+				eff.Ops[i] = ShardOp{Op: op.op, From: op.e.From, To: op.e.To}
+			}
+		}
+		out = append(out, eff)
+	}
+	return out, true
+}
+
+// ApplyShardEffects is phase 1 for one shard, driven from outside: it
+// creates the shard's new nodes in plan order (so slot assignment is
+// identical to the coordinator's own application) and applies the owned
+// halves of every edge effect, returning the shard's edge-count delta.
+// It writes only shard-owned state; the graph-global indexes are left
+// untouched, which is correct for shard-container graphs (see the file
+// comment) and would corrupt a fully indexed one.
+//
+// Errors report divergence between the shipped effects and the local shard
+// state (a node missing, an edge already present); the shard may then be
+// partially applied and must be re-placed from an authoritative segment
+// before further use.
+func (g *Graph) ApplyShardEffects(e ShardEffects) (int, error) {
+	if e.Shard < 0 || e.Shard >= len(g.shards) {
+		return 0, fmt.Errorf("graph: ApplyShardEffects: shard %d out of range [0,%d)", e.Shard, len(g.shards))
+	}
+	sh := &g.shards[e.Shard]
+	p32, si32 := int32(len(g.shards)), int32(e.Shard)
+	u64si := uint64(e.Shard)
+	for _, n := range e.NewNodes {
+		if g.shardIdxOf(n.ID) != u64si {
+			return 0, fmt.Errorf("graph: ApplyShardEffects: node %d does not hash to shard %d", n.ID, e.Shard)
+		}
+		if _, ok := sh.nodes[n.ID]; ok {
+			return 0, fmt.Errorf("graph: ApplyShardEffects: node %d already exists on shard %d", n.ID, e.Shard)
+		}
+		sh.nodes[n.ID] = &node{label: InternLabel(n.Label), slot: sh.allocSlot(p32, si32)}
+	}
+	delta := 0
+	for _, op := range e.Ops {
+		owned := false
+		if g.shardIdxOf(op.From) == u64si {
+			owned = true
+			rec := sh.nodes[op.From]
+			if rec == nil {
+				return delta, fmt.Errorf("graph: ApplyShardEffects: source %d missing from shard %d", op.From, e.Shard)
+			}
+			if op.Op == Insert {
+				if !rec.out.add(op.To) {
+					return delta, fmt.Errorf("graph: ApplyShardEffects: edge (%d,%d) already present", op.From, op.To)
+				}
+				delta++
+			} else {
+				if !rec.out.remove(op.To) {
+					return delta, fmt.Errorf("graph: ApplyShardEffects: edge (%d,%d) already absent", op.From, op.To)
+				}
+				delta--
+			}
+			sh.noteDirty(&rec.out)
+		}
+		if g.shardIdxOf(op.To) == u64si {
+			owned = true
+			rec := sh.nodes[op.To]
+			if rec == nil {
+				return delta, fmt.Errorf("graph: ApplyShardEffects: target %d missing from shard %d", op.To, e.Shard)
+			}
+			if op.Op == Insert {
+				rec.in.add(op.From)
+			} else {
+				rec.in.remove(op.From)
+			}
+			sh.noteDirty(&rec.in)
+		}
+		if !owned {
+			return delta, fmt.Errorf("graph: ApplyShardEffects: op %v(%d,%d) has no endpoint on shard %d", op.Op, op.From, op.To, e.Shard)
+		}
+	}
+	// There is no phase 2 here, and shard containers never run
+	// PrepareConcurrentReads (worker requests serialize, so sorted caches
+	// rebuild lazily and race-free): discard the phase-1 dirty queue
+	// instead of parking it on the graph, where it would grow without
+	// bound and pin dropped replicas' records across ResetShard cycles.
+	for _, a := range sh.dirty {
+		a.queued = false
+	}
+	sh.dirty = sh.dirty[:0]
+	g.refreshSlotCeil()
+	return delta, nil
+}
+
+// ResetShard erases shard s — node records, slot allocator, dirty queue —
+// returning it to the freshly created state LoadShard requires, so an
+// authoritative segment can be (re-)placed over a diverged or stale copy.
+// Like ApplyShardEffects it maintains only shard-owned state: calling it
+// on a graph whose global indexes were built through the normal mutation
+// API would leave the inverted label index and edge count stale. It exists
+// for shard-container graphs.
+func (g *Graph) ResetShard(s int) {
+	sh := &g.shards[s]
+	sh.nodes = make(map[NodeID]*node)
+	sh.free = nil
+	sh.slotCap = 0
+	sh.dirty = nil
+	g.refreshSlotCeil()
+}
