@@ -1,0 +1,214 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"incgraph"
+)
+
+// TestStandbyFailoverSmoke is the daemon-level HA drill: a primary with
+// two shard workers, quorum log shipping, and a feed hub; a standby
+// daemon tailing the hub into its own fresh store. The primary is
+// SIGKILLed mid-stream, the standby notices the dead feed (degraded
+// reads keep working), an operator "promote" attaches it to the same
+// workers at term+1, and the remaining stream goes through the promoted
+// daemon. Every query class's final answer must be byte-identical to a
+// single-process daemon fed the same stream — the cmd-level version of
+// TestHAFailoverMatchesUninterruptedRun.
+func TestStandbyFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-based smoke test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "incgraphd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Seed graph + standing queries, shared by every daemon.
+	g := incgraph.SyntheticGraph(incgraph.GraphSpec{
+		Nodes: 300, Edges: 1500, Labels: 6, GiantSCCFrac: 0.5, Seed: 17,
+	})
+	graphPath := filepath.Join(dir, "seed.snap")
+	if err := incgraph.WriteSnapshotFile(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+	pat, err := incgraph.RandomISOPattern(g, 3, 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patPath := filepath.Join(dir, "pattern.txt")
+	pf, err := os.Create(patPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := incgraph.WriteGraph(pf, pat.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	kwsQ, err := incgraph.RandomKWSQuery(g, 2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineArgs := []string{
+		"-kws", strings.Join(kwsQ.Keywords, ","), "-bound", fmt.Sprint(kwsQ.Bound),
+		"-rpq", "l1.l2*.l3", "-iso", patPath, "-scc",
+	}
+
+	w1Addr, w2Addr := pickAddr(t), pickAddr(t)
+	startWorker := func(addr string) *exec.Cmd {
+		cmd := exec.Command(bin, "worker", "-addr", addr)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := waitForAddr(addr, 15*time.Second); err != nil {
+			t.Fatalf("worker on %s never came up: %v", addr, err)
+		}
+		return cmd
+	}
+	w1 := startWorker(w1Addr)
+	defer func() { w1.Process.Kill(); w1.Wait() }()
+	w2 := startWorker(w2Addr)
+	defer func() { w2.Process.Kill(); w2.Wait() }()
+
+	primaryAddr, hubAddr, standbyAddr, singleAddr := pickAddr(t), pickAddr(t), pickAddr(t), pickAddr(t)
+	clusterArgs := []string{"-cluster", w1Addr + "," + w2Addr, "-repl", "quorum", "-term", "1"}
+	primary := startDaemon(t, bin,
+		append(append([]string{"-store", filepath.Join(dir, "store-primary"), "-graph", graphPath,
+			"-addr", primaryAddr, "-hub", hubAddr,
+			"-shards", "8", "-checkpoint-bytes", "0", "-fsync", "none"}, clusterArgs...), engineArgs...),
+		primaryAddr)
+	defer func() { primary.Process.Kill(); primary.Wait() }()
+	single := startDaemon(t, bin,
+		append([]string{"-store", filepath.Join(dir, "store-single"), "-graph", graphPath,
+			"-addr", singleAddr, "-shards", "8", "-checkpoint-bytes", "0", "-fsync", "none"}, engineArgs...),
+		singleAddr)
+	defer func() { single.Process.Kill(); single.Wait() }()
+
+	standby := startDaemon(t, bin,
+		append([]string{"standby", "-primary", hubAddr,
+			"-store", filepath.Join(dir, "store-standby"), "-addr", standbyAddr,
+			"-ttl", "1s", "-fsync", "none", "-checkpoint-bytes", "0",
+			"-cluster", w1Addr + "," + w2Addr, "-repl", "quorum"}, engineArgs...),
+		standbyAddr)
+	defer func() { standby.Process.Kill(); standby.Wait() }()
+
+	pc := dialLine(t, primaryAddr)
+	defer pc.close()
+	sc := dialLine(t, singleAddr)
+	defer sc.close()
+	bc := dialLine(t, standbyAddr)
+	defer bc.close()
+
+	stage := func(c *lineClient, b incgraph.Batch) {
+		for _, u := range b {
+			if u.Op == incgraph.OpInsert {
+				c.cmd(t, fmt.Sprintf("+ %d %d %s %s", u.From, u.To, u.FromLabel, u.ToLabel))
+			} else {
+				c.cmd(t, fmt.Sprintf("- %d %d", u.From, u.To))
+			}
+		}
+	}
+	scratch := g.Clone()
+	rng := rand.New(rand.NewSource(23))
+	nextBurst := func() incgraph.Batch {
+		b := incgraph.RandomUpdates(scratch, incgraph.UpdateSpec{
+			Count: 40, InsertRatio: 0.6, Locality: 0.7, Seed: rng.Int63(),
+		})
+		if err := scratch.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// First half of the stream through the primary. Quorum shipping plus
+	// the synchronous hub feed mean the standby has applied each batch by
+	// the time the primary's commit is acknowledged.
+	for burst := 0; burst < 3; burst++ {
+		b := nextBurst()
+		stage(pc, b)
+		pc.cmd(t, "commit")
+		stage(sc, b)
+		sc.cmd(t, "commit")
+	}
+
+	// The standby serves current reads while tailing, and refuses writes.
+	health := bc.cmd(t, "health")
+	for _, field := range []string{"role=standby", "tail=live", "tail_seq=3"} {
+		if !strings.Contains(health, field) {
+			t.Fatalf("standby health %q missing %q", health, field)
+		}
+	}
+	if got, want := bc.answer(t, "scc"), sc.answer(t, "scc"); got != want {
+		t.Fatalf("standby replica read diverged mid-stream\nstandby:\n%s\nsingle:\n%s", got, want)
+	}
+	bc.cmd(t, fmt.Sprintf("+ %d %d x y", scratch.MaxNodeID()+1, scratch.MaxNodeID()+2))
+	if reply := bc.raw(t, "commit"); !strings.HasPrefix(reply, "err standby is read-only") {
+		t.Fatalf("standby accepted a commit: %q", reply)
+	}
+	bc.cmd(t, "abort")
+
+	// Kill the primary without ceremony. The standby's lease expires and
+	// it degrades to serving its last durable generation.
+	if err := primary.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Wait()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if h := bc.cmd(t, "health"); strings.Contains(h, "tail=degraded") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never noticed the dead primary: %s", bc.cmd(t, "health"))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got, want := bc.answer(t, "kws"), sc.answer(t, "kws"); got != want {
+		t.Fatal("degraded standby reads diverged from the last durable generation")
+	}
+
+	// Promote: the standby attaches to the same workers at term 2 and the
+	// rest of the stream goes through it.
+	reply := bc.cmd(t, "promote")
+	for _, field := range []string{"term=2", "workers=2"} {
+		if !strings.Contains(reply, field) {
+			t.Fatalf("promote reply %q missing %q", reply, field)
+		}
+	}
+	if reply := bc.raw(t, "promote"); !strings.HasPrefix(reply, "err already primary") {
+		t.Fatalf("second promote replied %q", reply)
+	}
+	for burst := 0; burst < 3; burst++ {
+		b := nextBurst()
+		stage(bc, b)
+		bc.cmd(t, "commit")
+		stage(sc, b)
+		sc.cmd(t, "commit")
+	}
+
+	// Byte-identical answers across the failover, and the promoted daemon
+	// reports its new role and fencing term.
+	for _, class := range []string{"kws", "rpq", "scc", "iso"} {
+		if got, want := bc.answer(t, class), sc.answer(t, class); got != want {
+			t.Fatalf("%s answers differ after failover\npromoted:\n%s\nsingle:\n%s", class, got, want)
+		}
+	}
+	statLine := bc.cmd(t, "stat")
+	for _, field := range []string{"role=primary", "cluster_workers=2/2", "cluster_term=2", "repl=quorum"} {
+		if !strings.Contains(statLine, field) {
+			t.Fatalf("promoted stat %q missing %q", statLine, field)
+		}
+	}
+}

@@ -16,7 +16,11 @@
 //	          [-shards N] [-workers N] [-fsync always|none]
 //	          [-checkpoint-bytes N]
 //	          [-cluster addr1,addr2 | -cluster-spawn N]
-//	incgraphd worker [-addr :7431]
+//	          [-repl off|async|quorum] [-term N] [-hub :7423]
+//	incgraphd worker [-addr :7431] [-logdir DIR [-fsync always|none]]
+//	incgraphd standby -primary HOST:7423 -store DIR [-addr :7422]
+//	          [engine flags] [-ttl 2s] [-cluster addr1,addr2]
+//	          [-repl off|async|quorum]
 //
 // On first start -graph seeds the store (text or .snap format, sniffed);
 // later starts recover from the store and ignore -graph. The standing
@@ -39,6 +43,24 @@
 // back on its address, the next commit reattaches it and re-ships its
 // shards from the authoritative graph.
 //
+// # High availability
+//
+// -repl async|quorum ships every committed batch's WAL record to the
+// workers owning its shards (per-shard replica logs; file-backed with the
+// worker's -logdir); -term sets the coordinator's fencing term; -hub
+// exposes a feed address for standbys. "incgraphd standby" tails that
+// feed into its own fresh store: the handshake snapshot seeds the store,
+// every fed record runs the normal durable apply, and the standby serves
+// the read side of the line protocol the whole time — current reads while
+// the feed is live, last-durable-generation reads once the primary dies,
+// and a redirect (never a stale answer) if the replica diverged from a
+// live primary. When the primary is gone, "promote" on the standby
+// attaches a coordinator at term+1 over its -cluster workers: every shard
+// is re-placed, the deposed primary's sessions are fenced ("err commit:
+// ... fenced"), and answers continue byte-identical to an uninterrupted
+// run. "health" reports role, term, and tail state without polling
+// workers.
+//
 // The protocol is line-oriented over TCP — one command per line, one
 // "ok ..."/"err ..." reply line (answer dumps are multi-line, dot-
 // terminated). Updates are staged per connection and applied atomically
@@ -50,7 +72,9 @@
 //	abort                    drop the staged batch
 //	query CLASS              answer cardinality for kws|rpq|scc|iso
 //	answer CLASS             full canonical answer, dot-terminated
-//	stat                     graph/WAL/engine counters
+//	stat                     graph/WAL/engine/cluster/replication counters
+//	health                   cheap probe: role, term, tail state
+//	promote                  standby only: take over as primary at term+1
 //	checkpoint               force a snapshot + fresh WAL
 //	quit                     close the connection
 //
@@ -84,6 +108,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "standby" {
+		if err := runStandby(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "incgraphd standby: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		storeDir     = flag.String("store", "", "store directory (required; created on first start)")
 		graphPath    = flag.String("graph", "", "initial graph file, text or .snap (first start only)")
@@ -99,6 +130,9 @@ func main() {
 		ckptBytes    = flag.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint when the WAL exceeds this size (0 = manual only)")
 		clusterAddrs = flag.String("cluster", "", "comma-separated shard-worker addresses to attach (cluster mode)")
 		clusterSpawn = flag.Int("cluster-spawn", 0, "spawn N shard-worker child processes on loopback ports (cluster mode)")
+		term         = flag.Uint64("term", 1, "coordinator fencing term (a promoted standby attaches at its primary's term+1)")
+		repl         = flag.String("repl", "off", "cluster log-shipping policy: off|async|quorum")
+		hubAddr      = flag.String("hub", "", "listen address for standby feed connections (HA primary)")
 	)
 	flag.Parse()
 
@@ -117,6 +151,9 @@ func main() {
 		ckptBytes:    *ckptBytes,
 		clusterAddrs: *clusterAddrs,
 		clusterSpawn: *clusterSpawn,
+		term:         *term,
+		repl:         *repl,
+		hubAddr:      *hubAddr,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "incgraphd: %v\n", err)
 		os.Exit(1)
@@ -132,6 +169,35 @@ type config struct {
 	ckptBytes                   int64
 	clusterAddrs                string
 	clusterSpawn                int
+	term                        uint64
+	repl                        string
+	hubAddr                     string
+}
+
+// parseSync maps the -fsync flag to a WAL sync policy.
+func parseSync(name string) (incgraph.SyncPolicy, error) {
+	switch strings.ToLower(name) {
+	case "always":
+		return incgraph.SyncAlways, nil
+	case "none":
+		return incgraph.SyncNone, nil
+	default:
+		return 0, fmt.Errorf("unknown -fsync policy %q (want always|none)", name)
+	}
+}
+
+// parseRepl maps the -repl flag to a log-shipping policy.
+func parseRepl(name string) (incgraph.ReplPolicy, error) {
+	switch strings.ToLower(name) {
+	case "", "off":
+		return incgraph.ReplOff, nil
+	case "async":
+		return incgraph.ReplAsync, nil
+	case "quorum":
+		return incgraph.ReplQuorum, nil
+	default:
+		return 0, fmt.Errorf("unknown -repl policy %q (want off|async|quorum)", name)
+	}
 }
 
 // runWorker is the "incgraphd worker" subcommand: a shard worker serving
@@ -139,6 +205,8 @@ type config struct {
 func runWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	addr := fs.String("addr", ":7431", "TCP listen address for the cluster RPC protocol")
+	logDir := fs.String("logdir", "", "directory for file-backed per-shard replica logs (empty = in-memory)")
+	fsync := fs.String("fsync", "none", "replica-log fsync policy: always|none")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,6 +222,16 @@ func runWorker(args []string) error {
 		ln.Close()
 	}()
 	w := incgraph.NewClusterWorker()
+	if *logDir != "" {
+		sync, err := parseSync(*fsync)
+		if err != nil {
+			return err
+		}
+		if err := w.SetLogDir(*logDir, sync); err != nil {
+			return err
+		}
+		log.Printf("replica logs in %s (fsync %s)", *logDir, strings.ToLower(*fsync))
+	}
 	if err := w.Serve(ln); err != nil && !isClosed(err) {
 		return err
 	}
@@ -221,53 +299,12 @@ func waitForAddr(addr string, timeout time.Duration) error {
 	}
 }
 
-func run(cfg config) error {
-	if cfg.storeDir == "" {
-		return fmt.Errorf("-store is required")
-	}
-	var sync incgraph.SyncPolicy
-	switch strings.ToLower(cfg.fsync) {
-	case "always":
-		sync = incgraph.SyncAlways
-	case "none":
-		sync = incgraph.SyncNone
-	default:
-		return fmt.Errorf("unknown -fsync policy %q (want always|none)", cfg.fsync)
-	}
-	opts := incgraph.DurableOptions{Sync: sync}
-
-	// Open-or-create the durable state.
-	var d *incgraph.Durable
-	recovered := false
-	if incgraph.DurableExists(cfg.storeDir) {
-		var err error
-		d, err = incgraph.OpenDurable(cfg.storeDir, opts)
-		if err != nil {
-			return err
-		}
-		recovered = true
-	} else {
-		g := incgraph.NewGraph()
-		if cfg.graphPath != "" {
-			var err error
-			g, err = incgraph.LoadGraphFile(cfg.graphPath)
-			if err != nil {
-				return err
-			}
-		}
-		if cfg.shards != 0 {
-			g.SetShards(cfg.shards)
-		}
-		var err error
-		d, err = incgraph.CreateDurable(cfg.storeDir, g, opts)
-		if err != nil {
-			return err
-		}
-	}
-	d.Graph().SetParallelism(cfg.workers)
-
-	// Standing queries: build engines on clones of the (snapshot-time)
-	// graph, attach, then replay the WAL through them.
+// attachEngines builds the standing-query engines the flags describe on
+// clones of the durable's (snapshot-time) graph and attaches them, ready
+// for Recover to replay the WAL through. Shared by the primary and
+// standby paths — a standby must run the same engines to serve the same
+// answers.
+func attachEngines(d *incgraph.Durable, cfg config) error {
 	if cfg.kwsQuery != "" {
 		q := incgraph.KWSQuery{Keywords: strings.Split(cfg.kwsQuery, ","), Bound: cfg.bound}
 		ix, err := incgraph.NewKWS(d.Graph().Clone(), q)
@@ -305,6 +342,71 @@ func run(cfg config) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// splitAddrs splits a comma-separated address list, tolerating stray
+// commas ("a,b," / "a,,b"): an empty element would otherwise abort
+// startup with a confusing dial error.
+func splitAddrs(list string) []string {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+func run(cfg config) error {
+	if cfg.storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	sync, err := parseSync(cfg.fsync)
+	if err != nil {
+		return err
+	}
+	repl, err := parseRepl(cfg.repl)
+	if err != nil {
+		return err
+	}
+	opts := incgraph.DurableOptions{Sync: sync}
+
+	// Open-or-create the durable state.
+	var d *incgraph.Durable
+	recovered := false
+	if incgraph.DurableExists(cfg.storeDir) {
+		var err error
+		d, err = incgraph.OpenDurable(cfg.storeDir, opts)
+		if err != nil {
+			return err
+		}
+		recovered = true
+	} else {
+		g := incgraph.NewGraph()
+		if cfg.graphPath != "" {
+			var err error
+			g, err = incgraph.LoadGraphFile(cfg.graphPath)
+			if err != nil {
+				return err
+			}
+		}
+		if cfg.shards != 0 {
+			g.SetShards(cfg.shards)
+		}
+		var err error
+		d, err = incgraph.CreateDurable(cfg.storeDir, g, opts)
+		if err != nil {
+			return err
+		}
+	}
+	d.Graph().SetParallelism(cfg.workers)
+
+	// Standing queries: build engines on clones of the (snapshot-time)
+	// graph, attach, then replay the WAL through them.
+	if err := attachEngines(d, cfg); err != nil {
+		return err
+	}
 	if err := d.Recover(); err != nil {
 		return err
 	}
@@ -319,19 +421,57 @@ func run(cfg config) error {
 		log.Printf("standing query %s: %d answers", m.Class(), m.Size())
 	}
 
+	// The server is built before the cluster so the HA hub's snapshot
+	// callback can serialize against its lock; the coordinator (if any)
+	// is installed below, before serving starts.
+	srv := newServer(d, nil, cfg.ckptBytes)
+	srv.repl = repl
+
+	// HA hub: standbys connect here, handshake a snapshot, and tail every
+	// committed batch. The snapshot callback reads (feedSeq, graph) under
+	// the server's lock — the same critical section commits mutate them
+	// in — so no committed batch can fall between a standby's snapshot
+	// and its feed stream.
+	var hub *incgraph.ClusterHub
+	var hubLn net.Listener
+	if cfg.hubAddr != "" {
+		hub = incgraph.NewClusterHub(incgraph.ClusterHubOptions{
+			Term: cfg.term,
+			Snapshot: func() (uint64, uint64, []byte, error) {
+				srv.mu.RLock()
+				defer srv.mu.RUnlock()
+				snap, err := incgraph.EncodeSnapshot(d.Graph())
+				return srv.feedSeq, d.Generation(), snap, err
+			},
+		})
+		srv.hub = hub
+		var err error
+		hubLn, err = net.Listen("tcp", cfg.hubAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("hub listening on %s (term %d)", hubLn.Addr(), cfg.term)
+		go func() {
+			for {
+				conn, err := hubLn.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					if err := hub.ServeConn(conn); err != nil && !isClosed(err) {
+						log.Printf("standby feed: %v", err)
+					}
+					conn.Close()
+				}()
+			}
+		}()
+	}
+
 	// Cluster mode: attach (or spawn) shard workers and place every shard
 	// by shipping its snapshot segment.
-	var cl *incgraph.Cluster
 	stopSpawned := func() {}
 	if cfg.clusterAddrs != "" || cfg.clusterSpawn > 0 {
-		var addrs []string
-		for _, a := range strings.Split(cfg.clusterAddrs, ",") {
-			// Tolerate stray commas ("a,b," / "a,,b"): an empty element
-			// would otherwise abort startup with a confusing dial error.
-			if a = strings.TrimSpace(a); a != "" {
-				addrs = append(addrs, a)
-			}
-		}
+		addrs := splitAddrs(cfg.clusterAddrs)
 		if cfg.clusterSpawn > 0 {
 			spawned, stop, err := spawnWorkers(cfg.clusterSpawn)
 			if err != nil {
@@ -349,16 +489,24 @@ func run(cfg config) error {
 			}
 			links = append(links, link)
 		}
-		var err error
-		cl, err = incgraph.NewCluster(d.Graph(), links)
+		clOpts := incgraph.ClusterOptions{Term: cfg.term, Repl: repl}
+		if hub != nil {
+			// In cluster mode the coordinator's post-commit hook runs the
+			// standby feed in commit order while the batch's shards are
+			// still held; its sequence numbering matches feedSeq (both
+			// count exactly the successful commits).
+			clOpts.OnCommit = hub.Feed
+		}
+		cl, err := incgraph.NewClusterWith(d.Graph(), links, clOpts)
 		if err != nil {
 			stopSpawned()
 			return err
 		}
-		log.Printf("cluster: %d shards placed across %d workers", d.Graph().NumShards(), cl.NumWorkers())
+		srv.cl = cl
+		log.Printf("cluster: %d shards placed across %d workers (term %d, repl %s)",
+			d.Graph().NumShards(), cl.NumWorkers(), cfg.term, repl)
 	}
 
-	srv := newServer(d, cl, cfg.ckptBytes)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	stop := make(chan struct{})
@@ -366,7 +514,13 @@ func run(cfg config) error {
 		<-sig
 		close(stop)
 	}()
-	err := srv.serve(cfg.addr, stop)
+	serveErr := srv.serve(cfg.addr, stop)
+	if hubLn != nil {
+		hubLn.Close()
+	}
+	if hub != nil {
+		hub.Close()
+	}
 	stopSpawned()
-	return err
+	return serveErr
 }

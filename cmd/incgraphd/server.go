@@ -29,11 +29,35 @@ type server struct {
 	mu sync.RWMutex
 	d  *incgraph.Durable
 	// cl, when non-nil, routes commits through the distributed two-phase
-	// protocol (phase 1 on the shard workers, commit under s.mu).
+	// protocol (phase 1 on the shard workers, commit under s.mu). Guarded
+	// by mu because promote installs one at runtime.
 	cl *incgraph.Cluster
 	// ckptBytes auto-checkpoints after a commit grows the WAL past it.
 	ckptBytes int64
 	byClass   map[string]incgraph.Maintained
+
+	// HA primary state. hub, when non-nil, feeds every committed batch to
+	// attached standbys; feedSeq numbers the feed stream and is updated
+	// inside the same mu critical section as the graph mutation, so the
+	// hub's snapshot callback reads a (seq, state) pair no committed batch
+	// can fall between. feedMu orders single-process feeds (cluster-mode
+	// feeds ride the coordinator's OnCommit hook, which is already
+	// ordered).
+	hub     *incgraph.ClusterHub
+	feedMu  sync.Mutex
+	feedSeq uint64
+
+	// HA standby state (role == roleStandby until promote). tail tracks
+	// the feed's liveness for the read path's staleness gate; standby,
+	// tailConn, workerAddrs, and repl are what promote needs to attach a
+	// coordinator at term+1. primaryAddr is where stale reads redirect.
+	role        string
+	standby     *incgraph.ClusterStandby
+	tailConn    net.Conn
+	tail        atomic.Int32
+	primaryAddr string
+	workerAddrs []string
+	repl        incgraph.ReplPolicy
 	// connMu/conns track live connections so shutdown can cut idle
 	// readers instead of waiting for clients to hang up.
 	connMu sync.Mutex
@@ -47,12 +71,47 @@ type server struct {
 	commitErrs atomic.Uint64
 }
 
+// Serving roles. A standby is read-only until "promote" flips it.
+const (
+	rolePrimary = "primary"
+	roleStandby = "standby"
+)
+
+// Standby tail states, for the read path's staleness gate.
+const (
+	tailNone     int32 = iota // not a standby
+	tailLive                  // feed attached, replica current
+	tailDegraded              // primary gone; serving last durable generation
+	tailStale                 // replica diverged from a live primary; redirect
+)
+
+func tailName(s int32) string {
+	switch s {
+	case tailLive:
+		return "live"
+	case tailDegraded:
+		return "degraded"
+	case tailStale:
+		return "stale"
+	default:
+		return "none"
+	}
+}
+
 func newServer(d *incgraph.Durable, cl *incgraph.Cluster, ckptBytes int64) *server {
 	byClass := make(map[string]incgraph.Maintained, len(d.Engines()))
 	for _, m := range d.Engines() {
 		byClass[m.Class()] = m
 	}
-	return &server{d: d, cl: cl, ckptBytes: ckptBytes, byClass: byClass, conns: make(map[net.Conn]struct{})}
+	return &server{d: d, cl: cl, ckptBytes: ckptBytes, byClass: byClass,
+		role: rolePrimary, conns: make(map[net.Conn]struct{})}
+}
+
+// cluster returns the current coordinator (promote installs one late).
+func (s *server) cluster() *incgraph.Cluster {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cl
 }
 
 // track registers or unregisters a live connection.
@@ -89,6 +148,15 @@ func (s *server) serve(addr string, stop <-chan struct{}) error {
 		<-stop
 		close(done)
 		ln.Close()
+		// Abort any in-flight remote phase 1 before cutting connections:
+		// closing the coordinator tears down its worker sessions, so a
+		// commit blocked on a slow or dead worker fails immediately
+		// instead of pinning the drain below for the full RPC deadline.
+		// The commit was not acknowledged, so failing it is as safe as a
+		// crash; the aborted shards resync on the next start.
+		if cl := s.cluster(); cl != nil {
+			cl.Close()
+		}
 		s.closeConns()
 	}()
 	var wg sync.WaitGroup
@@ -192,6 +260,14 @@ func (s *server) handle(conn net.Conn) {
 			if !s.stat(reply) {
 				return
 			}
+		case "health":
+			if !s.health(reply) {
+				return
+			}
+		case "promote":
+			if !s.promote(reply) {
+				return
+			}
 		case "checkpoint":
 			s.mu.Lock()
 			err := s.d.Checkpoint()
@@ -226,14 +302,28 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) b
 	if len(batch) == 0 {
 		return reply("err nothing staged")
 	}
+	s.mu.RLock()
+	role, cl, hub := s.role, s.cl, s.hub
+	s.mu.RUnlock()
+	if role == roleStandby {
+		return reply("err standby is read-only: promote to accept commits")
+	}
 	var (
 		sums []incgraph.DeltaSummary
 		err  error
 	)
+	var preGen, gen, seq uint64
 	durableApply := func(b incgraph.Batch) ([]incgraph.DeltaSummary, uint64, int64, error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		preGen = s.d.Generation()
 		sums, aerr := s.d.Apply(b)
+		if aerr == nil && hub != nil {
+			// Numbered inside the critical section so the hub's snapshot
+			// callback sees seq and graph state move together.
+			s.feedSeq++
+			seq = s.feedSeq
+		}
 		gen, walBytes := s.d.Generation(), s.d.WALBytes()
 		if aerr == nil && s.ckptBytes > 0 && walBytes > s.ckptBytes {
 			if cerr := s.d.Checkpoint(); cerr != nil {
@@ -244,14 +334,27 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) b
 		}
 		return sums, gen, walBytes, aerr
 	}
-	var gen uint64
-	if s.cl != nil {
-		err = s.cl.Apply(batch, func(b incgraph.Batch) error {
+	switch {
+	case cl != nil:
+		// Cluster mode: the coordinator's OnCommit hook (wired to the
+		// hub's Feed in main) runs the standby feed in commit order while
+		// the batch's shards are still held.
+		err = cl.Apply(batch, func(b incgraph.Batch) error {
 			var aerr error
 			sums, gen, _, aerr = durableApply(b)
 			return aerr
 		})
-	} else {
+	case hub != nil:
+		// Single-process primary with standbys: feed after the apply, in
+		// commit order (feedMu — s.mu alone would let two committers'
+		// post-unlock feeds invert).
+		s.feedMu.Lock()
+		sums, gen, _, err = durableApply(batch)
+		if err == nil {
+			hub.Feed(seq, preGen, gen, batch)
+		}
+		s.feedMu.Unlock()
+	default:
 		sums, gen, _, err = durableApply(batch)
 	}
 	if err != nil {
@@ -274,6 +377,13 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) b
 // writes, so a stalled client can't hold the lock and wedge commits (and,
 // through the RWMutex writer queue, every other reader).
 func (s *server) read(cmd, class string, out *bufio.Writer, reply func(string, ...any) bool) bool {
+	// Replica-read gate: a standby serves reads while its feed is live
+	// (the replica is provably current) and keeps serving from the last
+	// durable generation when the primary is gone — but a replica that
+	// diverged from a live primary redirects instead of answering wrong.
+	if s.tail.Load() == tailStale {
+		return reply("err stale replica: redirect %s", s.primaryAddr)
+	}
 	m, ok := s.byClass[class]
 	if !ok {
 		return reply("err no standing query for class %q", class)
@@ -310,24 +420,106 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 	// Render under the read lock, write to the socket after (see read).
 	s.mu.RLock()
 	g := s.d.Graph()
-	line := fmt.Sprintf("ok nodes=%d edges=%d gen=%d shards=%d epoch=%d walseq=%d walbytes=%d classes=%s",
-		g.NumNodes(), g.NumEdges(), g.Generation(), g.NumShards(),
+	role, cl, hub := s.role, s.cl, s.hub
+	line := fmt.Sprintf("ok role=%s nodes=%d edges=%d gen=%d shards=%d epoch=%d walseq=%d walbytes=%d classes=%s",
+		role, g.NumNodes(), g.NumEdges(), g.Generation(), g.NumShards(),
 		s.d.Epoch(), s.d.WALSeq(), s.d.WALBytes(), strings.Join(classes, ","))
 	s.mu.RUnlock()
 	// Error counters: what the accept-loop and commit-path logs saw, as
 	// machine-readable fields (the crash drill asserts their presence).
 	line += fmt.Sprintf(" accept_errs=%d commit_errs=%d", s.acceptErrs.Load(), s.commitErrs.Load())
-	if s.cl != nil {
-		up := 0
-		for _, st := range s.cl.Stats() {
+	if cl != nil {
+		up, retries := 0, uint64(0)
+		var replicated, gaps uint64
+		for _, st := range cl.Stats() {
 			if !st.Down {
 				up++
 			}
+			retries += st.Retries
+			replicated += st.Remote.Replicated
+			gaps += st.Remote.ReplGaps
 		}
-		line += fmt.Sprintf(" cluster_workers=%d/%d cluster_applied=%d cluster_remote_errs=%d cluster_resyncs=%d",
-			up, s.cl.NumWorkers(), s.cl.Applied(), s.cl.RemoteErrors(), s.cl.Resyncs())
+		line += fmt.Sprintf(" cluster_workers=%d/%d cluster_applied=%d cluster_remote_errs=%d cluster_resyncs=%d cluster_retries=%d cluster_term=%d",
+			up, cl.NumWorkers(), cl.Applied(), cl.RemoteErrors(), cl.Resyncs(), retries, cl.Term())
+		line += fmt.Sprintf(" repl=%s repl_seq=%d repl_shipped=%d repl_degraded=%d repl_replicated=%d repl_gaps=%d",
+			s.repl, cl.ReplSeq(), cl.ReplShipped(), cl.ReplDegraded(), replicated, gaps)
+	}
+	if hub != nil {
+		line += fmt.Sprintf(" standbys=%d", hub.Standbys())
+	}
+	if st := s.standby; st != nil {
+		line += fmt.Sprintf(" tail=%s tail_term=%d tail_seq=%d tail_gen=%d",
+			tailName(s.tail.Load()), st.Term(), st.LastSeq(), st.Gen())
 	}
 	return reply("%s", line)
+}
+
+// health is the cheap liveness probe: one line of role and position, no
+// worker polling (stat's per-worker poll can take seconds during an
+// incident, exactly when probes must not).
+func (s *server) health(reply func(string, ...any) bool) bool {
+	s.mu.RLock()
+	role, cl, hub := s.role, s.cl, s.hub
+	gen, walSeq := s.d.Generation(), s.d.WALSeq()
+	s.mu.RUnlock()
+	line := fmt.Sprintf("ok role=%s gen=%d walseq=%d", role, gen, walSeq)
+	if cl != nil {
+		line += fmt.Sprintf(" term=%d", cl.Term())
+	}
+	if hub != nil {
+		line += fmt.Sprintf(" standbys=%d", hub.Standbys())
+	}
+	if s.standby != nil {
+		line += fmt.Sprintf(" tail=%s tail_seq=%d", tailName(s.tail.Load()), s.standby.LastSeq())
+	}
+	return reply("%s", line)
+}
+
+// promote flips a standby into a primary: the replica's durable state
+// becomes authoritative, and if shard-worker addresses were configured a
+// coordinator is attached over them at the deposed primary's term+1 —
+// re-placing every shard and fencing the old coordinator's sessions.
+// Reads block for the attach (it ships shard segments); promotion is a
+// failover moment, not a steady-state operation.
+func (s *server) promote(reply func(string, ...any) bool) bool {
+	s.mu.Lock()
+	if s.role != roleStandby {
+		s.mu.Unlock()
+		return reply("err already primary")
+	}
+	// Cut the tail first so a live feed cannot race the role flip; the
+	// apply callback also rejects feeds once the role is primary.
+	if s.tailConn != nil {
+		s.tailConn.Close()
+	}
+	term := s.standby.Term() + 1
+	var links []incgraph.ClusterLink
+	for _, a := range s.workerAddrs {
+		link, err := incgraph.DialClusterWorker(a)
+		if err != nil {
+			s.mu.Unlock()
+			return reply("err promote: worker %s: %v", a, err)
+		}
+		links = append(links, link)
+	}
+	if len(links) > 0 {
+		cl, err := incgraph.NewClusterWith(s.d.Graph(), links, incgraph.ClusterOptions{
+			Term: term, Repl: s.repl,
+		})
+		if err != nil {
+			for _, l := range links {
+				l.Conn.Close()
+			}
+			s.mu.Unlock()
+			return reply("err promote: %v", err)
+		}
+		s.cl = cl
+	}
+	s.role = rolePrimary
+	s.tail.Store(tailNone)
+	s.mu.Unlock()
+	log.Printf("promoted to primary at term %d (%d workers)", term, len(links))
+	return reply("ok promoted term=%d workers=%d", term, len(links))
 }
 
 // parseUpdate decodes "+ v w [vlabel wlabel]" / "- v w" (the update-file

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"incgraph"
+)
+
+// runStandby is the "incgraphd standby" subcommand: a warm replica that
+// tails a primary's hub. The handshake snapshot seeds a fresh durable
+// store; every fed record then runs the normal durable apply — WAL
+// append, graph mutation, engine maintenance — so the standby is itself
+// crash-safe and its engines serve the same answers the primary's do.
+//
+// The standby serves the read side of the line protocol the whole time
+// (query/answer/stat/health); commits are rejected until "promote" flips
+// it into a primary — cutting the tail, and attaching a coordinator at
+// the deposed primary's term+1 over the -cluster workers (fencing the
+// old coordinator's sessions). When the primary dies the tail ends with
+// a lease expiry or a severed connection; the standby keeps serving
+// reads from its last durable generation and waits for the operator's
+// promote. A tail that ends because the replica itself diverged (an
+// apply error against a live primary) flips reads to redirect instead —
+// a stale replica must not answer.
+func runStandby(args []string) error {
+	fs := flag.NewFlagSet("standby", flag.ExitOnError)
+	var (
+		primary   = fs.String("primary", "", "primary hub address to tail (required)")
+		storeDir  = fs.String("store", "", "replica store directory (required; must be fresh — the handshake snapshot seeds it)")
+		addr      = fs.String("addr", ":7422", "TCP listen address for the read-only line protocol")
+		kwsQuery  = fs.String("kws", "", "standing KWS query: comma-separated keywords")
+		bound     = fs.Int("bound", 2, "KWS distance bound b")
+		rpqQuery  = fs.String("rpq", "", "standing RPQ query expression")
+		isoPath   = fs.String("iso", "", "standing ISO pattern graph file")
+		scc       = fs.Bool("scc", false, "maintain strongly connected components")
+		workers   = fs.Int("workers", 0, "engine worker pool size (0 = all cores)")
+		fsync     = fs.String("fsync", "always", "WAL fsync policy: always|none")
+		ckptBytes = fs.Int64("checkpoint-bytes", 64<<20, "auto-checkpoint when the WAL exceeds this size (0 = manual only)")
+		ttl       = fs.Duration("ttl", 2*time.Second, "primary lease TTL (a small multiple of the hub's heartbeat)")
+		cluster   = fs.String("cluster", "", "comma-separated shard-worker addresses a promote attaches at term+1")
+		repl      = fs.String("repl", "quorum", "log-shipping policy after promote: off|async|quorum")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *primary == "" {
+		return fmt.Errorf("-primary is required")
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if incgraph.DurableExists(*storeDir) {
+		return fmt.Errorf("-store %s already holds a durable store; a standby seeds a fresh one from the primary's snapshot", *storeDir)
+	}
+	sync, err := parseSync(*fsync)
+	if err != nil {
+		return err
+	}
+	replPolicy, err := parseRepl(*repl)
+	if err != nil {
+		return err
+	}
+	cfg := config{
+		kwsQuery: *kwsQuery, bound: *bound, rpqQuery: *rpqQuery,
+		isoPath: *isoPath, scc: *scc,
+	}
+
+	conn, err := net.DialTimeout("tcp", *primary, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial primary hub %s: %w", *primary, err)
+	}
+	defer conn.Close()
+
+	// The tail's Load callback builds the whole serving state: decode the
+	// snapshot, seed the store, attach engines, recover (a no-op replay on
+	// a fresh store), and construct the server the listener below serves.
+	// The hub guarantees Load completes before the first fed record, and
+	// the feed applies strictly after loaded is signaled.
+	var srv *server
+	loaded := make(chan struct{})
+	st := incgraph.NewClusterStandby(incgraph.ClusterStandbyOptions{
+		TTL: *ttl,
+		Load: func(term, seq, gen uint64, snap []byte) error {
+			g, err := incgraph.DecodeSnapshot(snap)
+			if err != nil {
+				return err
+			}
+			d, err := incgraph.CreateDurable(*storeDir, g, incgraph.DurableOptions{Sync: sync})
+			if err != nil {
+				return err
+			}
+			if err := attachEngines(d, cfg); err != nil {
+				return err
+			}
+			if err := d.Recover(); err != nil {
+				return err
+			}
+			d.Graph().SetParallelism(*workers)
+			srv = newServer(d, nil, *ckptBytes)
+			srv.role = roleStandby
+			srv.primaryAddr = *primary
+			srv.workerAddrs = splitAddrs(*cluster)
+			srv.repl = replPolicy
+			srv.tailConn = conn
+			srv.tail.Store(tailLive)
+			log.Printf("seeded from %s: term %d, seq %d, gen %d, %d nodes, %d edges",
+				*primary, term, seq, gen, g.NumNodes(), g.NumEdges())
+			close(loaded)
+			return nil
+		},
+		Apply: func(seq, postGen uint64, b incgraph.Batch) error {
+			srv.mu.Lock()
+			defer srv.mu.Unlock()
+			if srv.role != roleStandby {
+				// Promoted between the hub's push and this apply: the
+				// replica is authoritative now, the old feed is history.
+				return fmt.Errorf("promoted; feed rejected")
+			}
+			if _, err := srv.d.Apply(b); err != nil {
+				return err
+			}
+			if g := srv.d.Generation(); g != postGen {
+				return fmt.Errorf("replica at gen %d, primary said %d", g, postGen)
+			}
+			return nil
+		},
+	})
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- st.Run(conn) }()
+	select {
+	case <-loaded:
+	case err := <-runErr:
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("handshake with %s: %w", *primary, err)
+	}
+	srv.standby = st
+
+	// Watch the tail: when it ends, classify for the read path. Lease
+	// expiry and transport deaths mean the primary is gone — keep serving
+	// reads from the last durable generation (degraded). Anything else
+	// (an apply failure, a protocol violation against a live primary)
+	// means this replica diverged — reads must redirect, not answer.
+	go func() {
+		err := <-runErr
+		state := tailStale
+		var ne net.Error
+		if err == nil || errors.Is(err, incgraph.ErrLeaseExpired) ||
+			errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+			errors.As(err, &ne) {
+			state = tailDegraded
+		}
+		// A promote cut the tail itself; don't downgrade the new primary.
+		srv.mu.RLock()
+		promoted := srv.role != roleStandby
+		srv.mu.RUnlock()
+		if promoted {
+			return
+		}
+		srv.tail.Store(state)
+		log.Printf("tail ended (%s): %v — serving reads at gen %d seq %d; \"promote\" to take over",
+			tailName(state), err, st.Gen(), st.LastSeq())
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	return srv.serve(*addr, stop)
+}

@@ -156,17 +156,59 @@
 //     segments before its next use; a restarted worker is reattached and
 //     rebuilt the same way. Batches whose TouchedShards sets are disjoint
 //     are routed concurrently.
-//   - Not replicated yet. Answer serving, the WAL and checkpoints remain
-//     at the coordinator: workers scale mutation bandwidth and stage the
-//     substrate for distributed serving, they do not yet fail over. WAL
-//     replication across workers — and with it coordinator failover — is
-//     the designed follow-on (see ROADMAP.md).
+//
+// # High availability
+//
+// Three layers make the cluster survive the loss of any process
+// (NewClusterWith, ClusterHub/ClusterStandby, ClusterReplStates):
+//
+//   - Log shipping. With ClusterOptions.Repl set to ReplAsync or
+//     ReplQuorum, the coordinator streams every committed batch's WAL
+//     record — the same (seq, gen, ΔG) payload its own log framed — to the
+//     workers owning the touched shards, on one ordered queue per worker.
+//     Each worker keeps per-shard replica logs (file-backed via
+//     ClusterWorker.SetLogDir) whose per-shard sequence chains detect any
+//     missed record; a gap heals by parcel resync from the authoritative
+//     segments, never by guessing. ReplAsync acknowledges on enqueue;
+//     ReplQuorum waits for a majority of the involved workers' clean
+//     appends. Replication never fails a commit — the batch was already
+//     durable at the coordinator — a shortfall only marks it degraded.
+//   - Standby failover and fencing. A ClusterHub beside the primary feeds
+//     committed records to ClusterStandby processes (snapshot handshake,
+//     then a tail whose heartbeats double as the primary's lease). Every
+//     coordinator session carries a fencing term; workers remember the
+//     highest term seen and reject mutating requests from any older
+//     session. On lease expiry — or an operator's explicit promote — the
+//     standby's owner attaches a coordinator at term+1 over the same
+//     workers, which re-places every shard and fences the deposed
+//     coordinator: its late commits fail with "fenced" instead of forking
+//     history. The differential tests pin that a SIGKILL'd primary plus a
+//     promoted standby produce answers, snapshot bytes, and worker
+//     replicas identical to the uninterrupted run.
+//   - Replica reads and degradation. ClusterReplStates asks any worker —
+//     no coordinator session needed — which generation each of its shards
+//     has proven current, the currency check for serving reads from
+//     replicas. The serving tier degrades monotonically: a standby with a
+//     live feed serves reads that are current through the last fed commit;
+//     a standby that outlived its primary keeps serving reads from its
+//     last durable generation (never a write); a replica that diverged
+//     from a live primary redirects reads to the primary rather than
+//     answer stale. Writes are only ever accepted at the single fenced
+//     primary.
+//   - Fault drills. FaultScript wraps any cluster connection in a seeded
+//     frame-level shim (drop/delay/duplicate/sever, matched by direction,
+//     frame index, and message type) with an event log that is
+//     reproducible run-to-run — the chaos drills in CI assert the same
+//     faults fire at the same frames twice in a row.
 //
 // cmd/incgraphd exposes all of this operationally: "incgraphd worker"
-// runs a shard worker, and the serving daemon attaches workers with
-// -cluster addr,addr or -cluster-spawn N, after which every commit runs
-// the distributed protocol and "stat" reports worker health alongside the
-// accept/commit error counters.
+// runs a shard worker, the serving daemon attaches workers with
+// -cluster addr,addr or -cluster-spawn N (plus -repl/-term/-hub for
+// replication, fencing, and the standby feed), and "incgraphd standby"
+// runs a warm replica that serves reads while tailing and becomes the
+// primary on "promote". "stat" reports worker health, replication
+// counters, and the fencing term alongside the accept/commit error
+// counters; "health" is the cheap role/liveness probe.
 //
 // The facade in this package re-exports the library's types and
 // constructors; the implementations live in internal packages:
@@ -182,7 +224,8 @@
 //	internal/gen        dataset simulators, update and query generators
 //	internal/bench      the harness that regenerates the paper's figures
 //	internal/store      per-shard snapshots, the WAL, checkpoint/recover
-//	internal/cluster    shard workers, framed RPC, the distributed apply
+//	internal/cluster    shard workers, framed RPC, the distributed apply,
+//	                    log shipping, standby failover, fault injection
 //
 // A minimal session:
 //

@@ -24,6 +24,9 @@ type Link struct {
 	Redial func() (net.Conn, error)
 	// Name labels the worker in errors and stats (an address, usually).
 	Name string
+	// Retries, when non-nil, exposes the transport's cumulative dial
+	// attempt counter (see Dialer) so Stats can report it.
+	Retries *atomic.Uint64
 }
 
 // workerLink is the coordinator's per-worker session state. Its mutex
@@ -32,8 +35,12 @@ type Link struct {
 // Coordinator.mu, and no code path holds Coordinator.mu while taking a
 // link mutex.
 type workerLink struct {
-	name   string
-	redial func() (net.Conn, error)
+	name    string
+	redial  func() (net.Conn, error)
+	retries *atomic.Uint64
+	// timeout is the base per-call deadline (rpcTimeout unless the
+	// coordinator was built with CallTimeout).
+	timeout time.Duration
 	// redialMu serializes reattachment so concurrent batches discovering
 	// the same downed worker produce one session, fully handshaken and
 	// reconciled before it is published.
@@ -47,6 +54,9 @@ type workerLink struct {
 	connMu sync.Mutex
 	conn   net.Conn
 	down   bool
+	// replQ is the ordered log-shipping queue (nil when replication is
+	// off); see replication.go.
+	replQ chan replJob
 }
 
 // session returns the live connection, or an error when the link is down.
@@ -81,7 +91,21 @@ const rpcTimeout = 60 * time.Second
 // base covers latency and the response, plus one second per MiB shipped
 // (a ≥1 MiB/s floor on usable links).
 func rpcDeadline(reqBytes int) time.Time {
-	return time.Now().Add(rpcTimeout + time.Duration(reqBytes>>20)*time.Second)
+	return deadlineFrom(rpcTimeout, reqBytes)
+}
+
+func deadlineFrom(base time.Duration, reqBytes int) time.Time {
+	return time.Now().Add(base + time.Duration(reqBytes>>20)*time.Second)
+}
+
+// deadline is the link's per-call deadline: the coordinator's configured
+// base (CallTimeout) scaled by request size.
+func (l *workerLink) deadline(reqBytes int) time.Time {
+	base := l.timeout
+	if base <= 0 {
+		base = rpcTimeout
+	}
+	return deadlineFrom(base, reqBytes)
 }
 
 // request performs one round trip, marking the link down on transport
@@ -100,7 +124,7 @@ func (l *workerLink) requestHint(req []byte, respHint int) (*reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn.SetDeadline(rpcDeadline(len(req) + respHint))
+	conn.SetDeadline(l.deadline(len(req) + respHint))
 	r, err := roundTrip(conn, req)
 	conn.SetDeadline(time.Time{})
 	if err != nil && !IsRemote(err) {
@@ -116,6 +140,7 @@ func (l *workerLink) requestHint(req []byte, respHint int) (*reader, error) {
 type Coordinator struct {
 	g       *graph.Graph
 	workers []*workerLink
+	opts    CoordinatorOptions
 
 	// mu guards the scheduling state below; cond wakes batches waiting for
 	// their shards to free up.
@@ -129,32 +154,58 @@ type Coordinator struct {
 	// dirty marks shards whose remote replica diverged (aborted batch,
 	// worker restart); they are re-placed before next use.
 	dirty []bool
+	// replLast maps shard → the sequence of the last committed record
+	// that touched it: the chain link the next replicate (or placement
+	// reset) for the shard carries. Guarded by mu.
+	replLast []uint64
+	// lastGen is the post-commit generation of the latest committed batch
+	// (initially the graph's generation at attach). Guarded by mu; it is
+	// the generation placements stamp replicas with.
+	lastGen uint64
 
 	// commitMu serializes the local commit (phase 2 + the caller's
 	// mutation of the authoritative graph and engines); the remote phase 1
-	// of disjoint batches overlaps freely around it.
+	// of disjoint batches overlaps freely around it. The replication
+	// sequence counter advances under it, so record order is commit order.
 	commitMu sync.Mutex
+	replSeq  uint64
 
-	applied    atomic.Uint64
-	remoteErrs atomic.Uint64
-	resyncs    atomic.Uint64
+	applied      atomic.Uint64
+	remoteErrs   atomic.Uint64
+	resyncs      atomic.Uint64
+	replShipped  atomic.Uint64
+	replDegraded atomic.Uint64
+
+	// quit stops the shipping goroutines; closed once by Close.
+	quit     chan struct{}
+	quitOnce sync.Once
 }
 
-// NewCoordinator attaches the links as shard workers of g: it handshakes
-// each one at g's shard count and places every shard round-robin. g stays
-// owned by the caller (it is the graph the engines and the durability
-// layer see); the coordinator only requires that Apply is the sole
-// mutation path while the cluster is attached.
+// NewCoordinator attaches the links as shard workers of g with default
+// options: it handshakes each one at g's shard count and places every
+// shard round-robin. g stays owned by the caller (it is the graph the
+// engines and the durability layer see); the coordinator only requires
+// that Apply is the sole mutation path while the cluster is attached.
 func NewCoordinator(g *graph.Graph, links []Link) (*Coordinator, error) {
+	return NewCoordinatorWith(g, links, CoordinatorOptions{})
+}
+
+// NewCoordinatorWith is NewCoordinator with explicit options (fencing
+// term, replication policy, per-call deadline).
+func NewCoordinatorWith(g *graph.Graph, links []Link, opts CoordinatorOptions) (*Coordinator, error) {
 	if len(links) == 0 {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
 	p := g.NumShards()
 	c := &Coordinator{
-		g:      g,
-		assign: make([]int, p),
-		busy:   make([]bool, p),
-		dirty:  make([]bool, p),
+		g:        g,
+		opts:     opts,
+		assign:   make([]int, p),
+		busy:     make([]bool, p),
+		dirty:    make([]bool, p),
+		replLast: make([]uint64, p),
+		lastGen:  g.Generation(),
+		quit:     make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for i, l := range links {
@@ -162,7 +213,10 @@ func NewCoordinator(g *graph.Graph, links []Link) (*Coordinator, error) {
 		if name == "" {
 			name = fmt.Sprintf("worker-%d", i)
 		}
-		c.workers = append(c.workers, &workerLink{name: name, redial: l.Redial, conn: l.Conn})
+		c.workers = append(c.workers, &workerLink{
+			name: name, redial: l.Redial, conn: l.Conn,
+			retries: l.Retries, timeout: opts.CallTimeout,
+		})
 	}
 	held := make([]map[int]bool, len(c.workers))
 	for i, l := range c.workers {
@@ -211,13 +265,16 @@ func NewCoordinator(g *graph.Graph, links []Link) (*Coordinator, error) {
 			}
 		}
 	}
+	if c.opts.Repl != ReplOff {
+		c.startShippers()
+	}
 	return c, nil
 }
 
 // hello opens a session at the coordinator's shard count and returns the
 // shards the worker already holds.
 func (c *Coordinator) hello(l *workerLink) (map[int]bool, error) {
-	r, err := l.request(encodeHello(c.g.NumShards()))
+	r, err := l.request(encodeHello(c.g.NumShards(), c.opts.Term))
 	if err != nil {
 		return nil, err
 	}
@@ -240,14 +297,22 @@ func decodeOwned(r *reader) (map[int]bool, error) {
 	return owned, nil
 }
 
-// place ships the authoritative segment of shard s to l. The caller must
-// hold shard s (busy) or be inside NewCoordinator/reattach.
+// place ships the authoritative segment of shard s to l, stamped with the
+// shard's replication chain position and the last committed generation so
+// the worker's replica log restarts exactly where the parcel's state ends.
+// The caller must hold shard s (busy) or be inside NewCoordinator/reattach.
 func (c *Coordinator) place(l *workerLink, s int) error {
 	parcel, err := store.EncodeShardParcel(c.g, s)
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	replSeq := c.replLast[s]
+	placeGen := c.lastGen
+	c.mu.Unlock()
 	req := appendUvarint([]byte{byte(msgPlace)}, uint64(s))
+	req = appendUvarint(req, replSeq)
+	req = appendUvarint(req, placeGen)
 	r, err := l.request(append(req, parcel...))
 	if err != nil {
 		return err
@@ -274,6 +339,25 @@ func (c *Coordinator) RemoteErrors() uint64 { return c.remoteErrs.Load() }
 // Resyncs returns the number of shard re-placements performed after
 // divergence (aborted batches, worker restarts).
 func (c *Coordinator) Resyncs() uint64 { return c.resyncs.Load() }
+
+// Term returns the coordinator's fencing term.
+func (c *Coordinator) Term() uint64 { return c.opts.Term }
+
+// ReplShipped returns the number of per-worker replicate requests fully
+// acknowledged since attach.
+func (c *Coordinator) ReplShipped() uint64 { return c.replShipped.Load() }
+
+// ReplDegraded returns the number of committed batches whose replication
+// fell short of the policy's ack requirement (the commit itself is
+// unaffected — it was already locally durable).
+func (c *Coordinator) ReplDegraded() uint64 { return c.replDegraded.Load() }
+
+// ReplSeq returns the sequence of the last committed, replicated record.
+func (c *Coordinator) ReplSeq() uint64 {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	return c.replSeq
+}
 
 // acquire blocks until every shard in touched is free, then marks them
 // busy. touched must be sorted and duplicate-free (TouchedShards is).
@@ -339,8 +423,8 @@ func (c *Coordinator) ensureUp(w int) error {
 		return fmt.Errorf("cluster: worker %s: redial: %w", l.name, err)
 	}
 	// Handshake on the private, not-yet-published connection.
-	conn.SetDeadline(rpcDeadline(0))
-	r, err := roundTrip(conn, encodeHello(c.g.NumShards()))
+	conn.SetDeadline(l.deadline(0))
+	r, err := roundTrip(conn, encodeHello(c.g.NumShards(), c.opts.Term))
 	conn.SetDeadline(time.Time{})
 	if err != nil {
 		conn.Close()
@@ -539,15 +623,42 @@ func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error
 	}
 
 	// Commit: the local, authoritative application — serialized, because
-	// it merges into graph-global state.
+	// it merges into graph-global state. When replication is on, the
+	// record's sequence and per-shard chain links are assigned here too,
+	// so replication order is commit order.
 	c.commitMu.Lock()
+	preGen := c.g.Generation()
 	err := commit(b)
+	var rep *replRecord
+	if err == nil {
+		postGen := c.g.Generation()
+		c.mu.Lock()
+		c.lastGen = postGen
+		c.replSeq++
+		rep = &replRecord{seq: c.replSeq, preGen: preGen, postGen: postGen,
+			prev: make(map[int]uint64, len(effs))}
+		for _, e := range effs {
+			rep.prev[e.Shard] = c.replLast[e.Shard]
+			c.replLast[e.Shard] = c.replSeq
+		}
+		c.mu.Unlock()
+	}
 	c.commitMu.Unlock()
 	if err != nil {
 		// Workers applied a batch the authoritative side rejected.
 		return abort(fmt.Errorf("cluster: commit failed after phase 1; resyncing: %w", err))
 	}
 	c.applied.Add(1)
+	// Post-commit fan-out while the touched shards are still held, so
+	// same-shard records stay in commit order: the standby feed first,
+	// then the workers' replica logs. Neither can fail the batch — it is
+	// already durable locally.
+	if c.opts.OnCommit != nil {
+		c.opts.OnCommit(rep.seq, rep.preGen, rep.postGen, b)
+	}
+	if c.opts.Repl != ReplOff {
+		c.replicate(b, workerIDs, perWorker, rep)
+	}
 	return nil
 }
 
@@ -635,6 +746,9 @@ type Stat struct {
 	Busy bool
 	// Assigned is the number of shards assigned to this worker.
 	Assigned int
+	// Retries is the transport's cumulative dial attempt count (zero when
+	// the link has no Dialer-style transport).
+	Retries uint64
 	// Remote is the worker's self-report; zero-valued when Down or Busy.
 	Remote WorkerStat
 }
@@ -659,6 +773,9 @@ func (c *Coordinator) Stats() []Stat {
 	c.mu.Unlock()
 	for i, l := range c.workers {
 		st := Stat{Name: l.name, Assigned: assigned[i]}
+		if l.retries != nil {
+			st.Retries = l.retries.Load()
+		}
 		if !l.mu.TryLock() {
 			st.Busy = true
 			out[i] = st
@@ -693,6 +810,7 @@ func (c *Coordinator) Stats() []Stat {
 // (its blocked read fails as the conn closes) instead of pinning shutdown
 // until the RPC deadline expires.
 func (c *Coordinator) Close() error {
+	c.quitOnce.Do(func() { close(c.quit) })
 	for _, l := range c.workers {
 		l.connMu.Lock()
 		if l.conn != nil {

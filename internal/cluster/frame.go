@@ -22,9 +22,22 @@
 // worker failure mid-phase-1 fails the batch atomically — the coordinator
 // never commits, and any worker that did apply the aborted effects is
 // marked stale and re-placed from the coordinator's authoritative segments
-// before its shards are used again. Answer serving, the WAL and
-// checkpoints are NOT replicated yet: workers scale mutation bandwidth and
-// stage the substrate for distributed serving, they do not yet fail over.
+// before its shards are used again.
+//
+// # High availability
+//
+// Three layers on top of that substrate survive the loss of any process:
+// log shipping (replication.go, store.ReplicaLog) streams every committed
+// batch's WAL record to the workers owning its shards, with per-shard
+// sequence chains that turn any missed record into a detected gap healed
+// by parcel resync; standby failover (lease.go) feeds committed records
+// from a Hub beside the primary to Standby tails whose heartbeats double
+// as the primary's lease, with promotion at term+1 fencing the deposed
+// coordinator's sessions at every worker; and replica reads
+// (FetchReplStates) let any process ask a worker which generation each of
+// its shards has proven current, without a coordinator session. A
+// FaultScript (fault.go) wraps any of these connections in a seeded
+// frame-level shim so every failure mode is drilled deterministically.
 package cluster
 
 import (
@@ -84,7 +97,7 @@ func readFrame(r io.Reader, max uint32) ([]byte, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: torn header: %v", ErrFrame, err)
+		return nil, fmt.Errorf("%w: torn header: %w", ErrFrame, err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[:4])
 	crc := binary.LittleEndian.Uint32(hdr[4:])
@@ -93,7 +106,7 @@ func readFrame(r io.Reader, max uint32) ([]byte, error) {
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: torn payload: %v", ErrFrame, err)
+		return nil, fmt.Errorf("%w: torn payload: %w", ErrFrame, err)
 	}
 	if crc32.ChecksumIEEE(payload) != crc {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrFrame)

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"incgraph/internal/graph"
+	"incgraph/internal/store"
+)
+
+// Standby failover. A Hub runs next to the primary coordinator and feeds
+// committed records to standby processes over the same framed transport
+// the workers speak, with the request/response roles flipped after the
+// handshake: the standby connects and sends one msgTail, the hub answers
+// with (term, seq, gen, full snapshot), and from then on the hub is the
+// requester — it pushes msgFeed records and msgPing heartbeats, the
+// standby acks each. The heartbeats double as the primary's lease: a
+// standby that has not heard one within its TTL concludes the primary is
+// gone and returns from Run with ErrLeaseExpired, at which point its
+// owner promotes — builds a coordinator over the same workers at term+1,
+// which re-places every shard (healing workers a dead coordinator left
+// ahead of its last commit) and fences the deposed coordinator's
+// sessions.
+//
+// The hub and standby exchange state, not behavior: what "load a
+// snapshot" and "apply a record" mean is the owner's business (incgraphd
+// wires them to its Durable), so both sides are callback-driven and this
+// package stays import-cycle-free.
+
+// ErrLeaseExpired reports a standby that outlived its primary's lease:
+// no heartbeat or record arrived within the TTL.
+var ErrLeaseExpired = errors.New("cluster: primary lease expired")
+
+// HubOptions configures a primary-side feed hub.
+type HubOptions struct {
+	// Term is the primary's fencing term, echoed to standbys.
+	Term uint64
+	// Snapshot captures the primary's current durable state: the last
+	// committed replication sequence, the generation, and snapshot bytes.
+	// It must be consistent — callers serialize it with their apply path.
+	Snapshot func() (seq, gen uint64, snap []byte, err error)
+	// Heartbeat is the ping interval (default 500ms). The standby's TTL
+	// should be a small multiple of it.
+	Heartbeat time.Duration
+}
+
+// Hub fans committed records out to attached standbys. Register Feed as
+// the coordinator's OnCommit hook (or call it from any serialized commit
+// path).
+type Hub struct {
+	opts HubOptions
+
+	mu    sync.Mutex
+	conns map[*hubConn]struct{}
+}
+
+type hubConn struct {
+	conn net.Conn
+	// sendMu serializes pushes (feeds from Feed, pings from the
+	// heartbeat loop): one request in flight, like every link.
+	sendMu sync.Mutex
+	dead   bool
+}
+
+// NewHub returns a hub ready to accept standby connections.
+func NewHub(opts HubOptions) *Hub {
+	return &Hub{opts: opts, conns: make(map[*hubConn]struct{})}
+}
+
+func (h *Hub) heartbeat() time.Duration {
+	if h.opts.Heartbeat > 0 {
+		return h.opts.Heartbeat
+	}
+	return 500 * time.Millisecond
+}
+
+// Standbys returns the number of attached standby connections.
+func (h *Hub) Standbys() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// ServeConn answers one standby connection: the msgTail handshake, then
+// heartbeats until the connection dies or the hub's owner closes it.
+// Feeds ride in from Feed on the caller's commit path.
+func (h *Hub) ServeConn(conn net.Conn) error {
+	// Handshake: one ordinary request/response, small frame cap until the
+	// peer proves it speaks the protocol.
+	payload, err := readFrame(conn, preHelloMaxFrame)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 || msgType(payload[0]) != msgTail {
+		return fmt.Errorf("%w: expected tail request", ErrProtocol)
+	}
+	version, err := decodeTailReq(&reader{buf: payload, off: 1})
+	if err != nil {
+		return err
+	}
+	if version != protocolVersion {
+		err := fmt.Errorf("protocol version %d not supported (have %d)", version, protocolVersion)
+		writeFrame(conn, append([]byte{byte(msgErr)}, err.Error()...))
+		return err
+	}
+	// The snapshot and the registration are atomic against Feed's target
+	// collection (both under h.mu), so no committed record can fall
+	// between the snapshot and the feed stream. A record can be covered
+	// by BOTH — snapshotted and then fed — which the standby's seq skip
+	// makes harmless.
+	h.mu.Lock()
+	seq, gen, snap, err := h.opts.Snapshot()
+	if err != nil {
+		h.mu.Unlock()
+		writeFrame(conn, append([]byte{byte(msgErr)}, err.Error()...))
+		return err
+	}
+	hc := &hubConn{conn: conn}
+	h.conns[hc] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.conns, hc)
+		h.mu.Unlock()
+	}()
+	if err := writeFrame(conn, encodeTailResp(h.opts.Term, seq, gen, snap)); err != nil {
+		return err
+	}
+	// Role flip: this goroutine now only heartbeats; Feed pushes records
+	// from the commit path. Both serialize on sendMu.
+	tick := time.NewTicker(h.heartbeat())
+	defer tick.Stop()
+	ping := encodePing(h.opts.Term)
+	for range tick.C {
+		if err := hc.push(ping, h.heartbeat()*2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// push sends one request and waits for the standby's ack.
+func (hc *hubConn) push(req []byte, timeout time.Duration) error {
+	hc.sendMu.Lock()
+	defer hc.sendMu.Unlock()
+	if hc.dead {
+		return net.ErrClosed
+	}
+	hc.conn.SetDeadline(time.Now().Add(timeout + time.Duration(len(req)>>20)*time.Second))
+	_, err := roundTrip(hc.conn, req)
+	hc.conn.SetDeadline(time.Time{})
+	if err != nil && !IsRemote(err) {
+		hc.dead = true
+		hc.conn.Close()
+	}
+	return err
+}
+
+// Feed pushes one committed record to every attached standby. Wire it as
+// CoordinatorOptions.OnCommit; it must be called in commit order (the
+// coordinator's hook is). A standby that fails to ack is dropped — it
+// will reconnect and re-handshake from a fresh snapshot.
+func (h *Hub) Feed(seq, preGen, postGen uint64, b graph.Batch) {
+	h.mu.Lock()
+	targets := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		targets = append(targets, hc)
+	}
+	h.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	payload, err := store.EncodeRecord(seq, preGen, b)
+	if err != nil {
+		return
+	}
+	req := encodeFeed(postGen, payload)
+	for _, hc := range targets {
+		hc.push(req, 10*time.Second)
+	}
+}
+
+// Close drops every attached standby connection.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for hc := range h.conns {
+		hc.conn.Close()
+	}
+}
+
+// StandbyOptions configures a standby tail.
+type StandbyOptions struct {
+	// Load installs the handshake snapshot: term is the primary's fencing
+	// term, seq/gen the replication position the snapshot embodies.
+	Load func(term, seq, gen uint64, snapshot []byte) error
+	// Apply applies one fed record (already past Load's position). It
+	// runs in feed order; an error tears the tail down (the standby's
+	// state can no longer track the primary).
+	Apply func(seq, postGen uint64, b graph.Batch) error
+	// TTL is the primary lease: Run returns ErrLeaseExpired when neither
+	// a record nor a heartbeat arrives within it (default 2s; use a small
+	// multiple of the hub's Heartbeat).
+	TTL time.Duration
+}
+
+// Standby tails a hub. Run blocks until the lease expires or the
+// connection fails; LastSeq/Gen/Term expose the tracked position for the
+// owner's promotion decision.
+type Standby struct {
+	opts StandbyOptions
+
+	mu   sync.Mutex
+	term uint64
+	// base is the handshake snapshot's position; fed records at or below
+	// it are duplicates of snapshotted state. seq is the highest position
+	// applied (feeds of disjoint batches may arrive slightly out of
+	// commit order, so seq advances monotonically, not strictly).
+	base uint64
+	seq  uint64
+	gen  uint64
+}
+
+// NewStandby returns a standby with the given callbacks.
+func NewStandby(opts StandbyOptions) *Standby {
+	return &Standby{opts: opts}
+}
+
+func (s *Standby) ttl() time.Duration {
+	if s.opts.TTL > 0 {
+		return s.opts.TTL
+	}
+	return 2 * time.Second
+}
+
+// Term returns the primary term the standby last saw.
+func (s *Standby) Term() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.term }
+
+// LastSeq returns the last applied replication sequence.
+func (s *Standby) LastSeq() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.seq }
+
+// Gen returns the generation the standby has proven current through.
+func (s *Standby) Gen() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.gen }
+
+// Run performs the tail handshake on conn and then serves the hub's
+// pushes until the connection dies or the lease expires. It returns
+// ErrLeaseExpired on a silent primary, io.EOF-wrapped transport errors on
+// a dead one — either way the standby's state is current through LastSeq
+// and the owner may promote.
+func (s *Standby) Run(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(rpcTimeout))
+	if err := writeFrame(conn, encodeTailReq()); err != nil {
+		return err
+	}
+	payload, err := readFrame(conn, maxFrame)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty tail response", ErrProtocol)
+	}
+	if msgType(payload[0]) == msgErr {
+		return remoteError(payload[1:])
+	}
+	if msgType(payload[0]) != msgOK {
+		return fmt.Errorf("%w: unexpected tail response type %d", ErrProtocol, payload[0])
+	}
+	term, seq, gen, snap, err := decodeTailResp(&reader{buf: payload, off: 1})
+	if err != nil {
+		return err
+	}
+	if err := s.opts.Load(term, seq, gen, snap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.term, s.base, s.seq, s.gen = term, seq, seq, gen
+	s.mu.Unlock()
+	// Role flip: the hub pushes, we ack. The read deadline is the lease.
+	for {
+		conn.SetDeadline(time.Now().Add(s.ttl()))
+		payload, err := readFrame(conn, maxFrame)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return ErrLeaseExpired
+			}
+			if err == io.EOF {
+				return fmt.Errorf("cluster: tail: %w", io.ErrUnexpectedEOF)
+			}
+			return err
+		}
+		if len(payload) == 0 {
+			return fmt.Errorf("%w: empty push", ErrProtocol)
+		}
+		switch msgType(payload[0]) {
+		case msgPing:
+			if _, err := decodePing(&reader{buf: payload, off: 1}); err != nil {
+				return err
+			}
+			if err := writeFrame(conn, []byte{byte(msgOK)}); err != nil {
+				return err
+			}
+		case msgFeed:
+			postGen, recPayload, err := decodeFeed(&reader{buf: payload, off: 1})
+			if err != nil {
+				return err
+			}
+			rec, err := store.DecodeRecord(recPayload)
+			if err != nil {
+				return err
+			}
+			// Records at or below the handshake position are already in
+			// the loaded snapshot (the hub's cut may cover a record both
+			// ways); ack and move on.
+			s.mu.Lock()
+			base := s.base
+			s.mu.Unlock()
+			if rec.Seq <= base {
+				if err := writeFrame(conn, []byte{byte(msgOK)}); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := s.opts.Apply(rec.Seq, postGen, rec.Batch); err != nil {
+				// Ack the failure so the hub drops us cleanly, then stop:
+				// our state no longer tracks the primary.
+				writeFrame(conn, append([]byte{byte(msgErr)}, err.Error()...))
+				return err
+			}
+			s.mu.Lock()
+			if rec.Seq > s.seq {
+				s.seq, s.gen = rec.Seq, postGen
+			}
+			s.mu.Unlock()
+			if err := writeFrame(conn, []byte{byte(msgOK)}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected push type %d", ErrProtocol, payload[0])
+		}
+	}
+}

@@ -18,7 +18,9 @@ import (
 // LabelIDs are process-local.
 
 // protocolVersion guards the wire format; hello rejects mismatches.
-const protocolVersion = 1
+// Version 2 added coordinator terms (fencing), per-shard WAL replication
+// and the standby tail stream.
+const protocolVersion = 2
 
 type msgType byte
 
@@ -44,6 +46,24 @@ const (
 	// msgErr reports a request-level failure; body is the error text. The
 	// connection remains usable.
 	msgErr
+	// msgReplicate ships one committed WAL record to the shards this worker
+	// owns: per-shard prevSeq chain links, the post-commit generation, and
+	// the record payload. The worker appends to each shard's replica log
+	// and answers with per-shard ok/gap statuses.
+	msgReplicate
+	// msgReplState reports per-shard replication state: last replicated
+	// sequence and proven generation for every shard with a replica log.
+	msgReplState
+	// msgTail opens a standby feed on a coordinator hub: the response
+	// carries term, sequence, generation and a full snapshot, after which
+	// the connection role-flips — the hub pushes msgFeed/msgPing requests
+	// and the standby acks each.
+	msgTail
+	// msgFeed pushes one committed record (post-commit generation + record
+	// payload) down a tail stream.
+	msgFeed
+	// msgPing is the hub's lease heartbeat on a tail stream: u64 term.
+	msgPing
 )
 
 // ErrProtocol reports a semantically malformed message: unknown type,
@@ -116,21 +136,26 @@ func (r *reader) done() error {
 	return nil
 }
 
-// encodeHello builds the hello request body.
-func encodeHello(shards int) []byte {
+// encodeHello builds the hello request body. term is the coordinator's
+// fencing term: workers remember the highest term they have seen and
+// reject sessions (and the mutating requests of already-open sessions)
+// below it.
+func encodeHello(shards int, term uint64) []byte {
 	buf := []byte{byte(msgHello)}
 	buf = binary.LittleEndian.AppendUint32(buf, protocolVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(shards))
+	buf = binary.LittleEndian.AppendUint64(buf, term)
 	return buf
 }
 
 // decodeHello parses a hello body (type byte already consumed).
-func decodeHello(r *reader) (version, shards uint32, err error) {
-	b, err := r.bytes(8)
+func decodeHello(r *reader) (version, shards uint32, term uint64, err error) {
+	b, err := r.bytes(16)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:]), r.done()
+	return binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:]),
+		binary.LittleEndian.Uint64(b[8:]), r.done()
 }
 
 // encodeShardList is the hello/stat-style "uvarint count + shards" body.
@@ -305,6 +330,13 @@ type WorkerStat struct {
 	Applied uint64
 	// Errors counts requests the worker rejected since start.
 	Errors uint64
+	// Replicated counts WAL records appended to replica logs since start.
+	Replicated uint64
+	// ReplGaps counts replica-log gap detections since start (each one
+	// forced a parcel resync).
+	ReplGaps uint64
+	// Term is the highest coordinator fencing term the worker has seen.
+	Term uint64
 }
 
 func encodeStat(st WorkerStat) []byte {
@@ -322,6 +354,9 @@ func encodeStat(st WorkerStat) []byte {
 	}
 	buf = binary.AppendUvarint(buf, st.Applied)
 	buf = binary.AppendUvarint(buf, st.Errors)
+	buf = binary.AppendUvarint(buf, st.Replicated)
+	buf = binary.AppendUvarint(buf, st.ReplGaps)
+	buf = binary.AppendUvarint(buf, st.Term)
 	return buf
 }
 
@@ -351,5 +386,222 @@ func decodeStat(r *reader) (WorkerStat, error) {
 	if st.Errors, err = r.uvarint(); err != nil {
 		return st, err
 	}
+	if st.Replicated, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	if st.ReplGaps, err = r.uvarint(); err != nil {
+		return st, err
+	}
+	if st.Term, err = r.uvarint(); err != nil {
+		return st, err
+	}
 	return st, r.done()
+}
+
+// ---- replication codecs ------------------------------------------------
+
+// replEntry is one shard's chain link in a replicate request: the
+// sequence of the previous committed record that touched the shard.
+type replEntry struct {
+	shard   int
+	prevSeq uint64
+}
+
+// Per-shard replicate ack statuses.
+const (
+	replOK  byte = 0 // appended
+	replGap byte = 1 // chain broken: shard needs a parcel resync
+)
+
+// encodeReplicate builds the replicate request: the post-commit
+// generation, the per-shard chain links, and the raw record payload
+// (store.EncodeRecord bytes carrying seq, gen-at-append, batch).
+func encodeReplicate(entries []replEntry, postGen uint64, record []byte) []byte {
+	buf := []byte{byte(msgReplicate)}
+	buf = binary.LittleEndian.AppendUint64(buf, postGen)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(e.shard))
+		buf = binary.AppendUvarint(buf, e.prevSeq)
+	}
+	return append(buf, record...)
+}
+
+func decodeReplicate(r *reader) (entries []replEntry, postGen uint64, record []byte, err error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	postGen = binary.LittleEndian.Uint64(b)
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if n > graph.MaxShards {
+		return nil, 0, nil, fmt.Errorf("%w: replicate names %d shards", ErrProtocol, n)
+	}
+	entries = make([]replEntry, n)
+	for i := range entries {
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		prev, err := r.uvarint()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		entries[i] = replEntry{shard: int(s), prevSeq: prev}
+	}
+	return entries, postGen, r.rest(), nil
+}
+
+// encodeReplAck builds the replicate response: per-shard statuses in
+// request order.
+func encodeReplAck(entries []replEntry, statuses []byte) []byte {
+	buf := []byte{byte(msgOK)}
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for i, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(e.shard))
+		buf = append(buf, statuses[i])
+	}
+	return buf
+}
+
+func decodeReplAck(r *reader) (map[int]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > graph.MaxShards {
+		return nil, fmt.Errorf("%w: %d ack entries", ErrProtocol, n)
+	}
+	out := make(map[int]byte, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		out[int(s)] = st
+	}
+	return out, r.done()
+}
+
+// ReplState is one shard's replication state on a worker: the last
+// replicated sequence and the generation that sequence proved.
+type ReplState struct {
+	LastSeq uint64
+	Gen     uint64
+}
+
+func encodeReplStates(states map[int]ReplState) []byte {
+	buf := []byte{byte(msgOK)}
+	buf = binary.AppendUvarint(buf, uint64(len(states)))
+	keys := make([]int, 0, len(states))
+	for s := range states {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	for _, s := range keys {
+		buf = binary.AppendUvarint(buf, uint64(s))
+		buf = binary.AppendUvarint(buf, states[s].LastSeq)
+		buf = binary.AppendUvarint(buf, states[s].Gen)
+	}
+	return buf
+}
+
+func decodeReplStates(r *reader) (map[int]ReplState, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > graph.MaxShards {
+		return nil, fmt.Errorf("%w: %d repl-state entries", ErrProtocol, n)
+	}
+	out := make(map[int]ReplState, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		seq, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		gen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out[int(s)] = ReplState{LastSeq: seq, Gen: gen}
+	}
+	return out, r.done()
+}
+
+// ---- standby tail codecs -----------------------------------------------
+
+// encodeTailReq opens a standby feed.
+func encodeTailReq() []byte {
+	buf := []byte{byte(msgTail)}
+	buf = binary.LittleEndian.AppendUint32(buf, protocolVersion)
+	return buf
+}
+
+func decodeTailReq(r *reader) (version uint32, err error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), r.done()
+}
+
+// encodeTailResp answers a tail request: the hub's term, last committed
+// sequence and generation, and a full snapshot of the primary's graph.
+func encodeTailResp(term, seq, gen uint64, snapshot []byte) []byte {
+	buf := []byte{byte(msgOK)}
+	buf = binary.LittleEndian.AppendUint64(buf, term)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	return append(buf, snapshot...)
+}
+
+func decodeTailResp(r *reader) (term, seq, gen uint64, snapshot []byte, err error) {
+	b, err := r.bytes(24)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:]),
+		binary.LittleEndian.Uint64(b[16:]), r.rest(), nil
+}
+
+// encodeFeed pushes one committed record down a tail stream: post-commit
+// generation plus the record payload.
+func encodeFeed(postGen uint64, record []byte) []byte {
+	buf := []byte{byte(msgFeed)}
+	buf = binary.LittleEndian.AppendUint64(buf, postGen)
+	return append(buf, record...)
+}
+
+func decodeFeed(r *reader) (postGen uint64, record []byte, err error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, nil, err
+	}
+	return binary.LittleEndian.Uint64(b), r.rest(), nil
+}
+
+// encodePing is the hub's lease heartbeat.
+func encodePing(term uint64) []byte {
+	buf := []byte{byte(msgPing)}
+	return binary.LittleEndian.AppendUint64(buf, term)
+}
+
+func decodePing(r *reader) (term uint64, err error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), r.done()
 }

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,19 +18,106 @@ import (
 // dialTimeout bounds one TCP connection attempt.
 const dialTimeout = 5 * time.Second
 
-// Dial connects to a worker at addr and returns a redialable Link.
-func Dial(addr string) (Link, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return Link{}, fmt.Errorf("cluster: dial %s: %w", addr, err)
+// Dialer configures worker dialing: per-attempt timeout and a capped
+// exponential backoff with jitter between redial attempts, so a worker
+// that is restarting is retried quickly at first and gently afterwards —
+// and a fleet of coordinators redialing the same worker does not
+// stampede in lockstep. The zero value uses the defaults.
+type Dialer struct {
+	// Timeout bounds one connection attempt (default 5s).
+	Timeout time.Duration
+	// Attempts is the number of connection attempts per Redial call
+	// (default 4): the first immediately, the rest after backoff.
+	Attempts int
+	// Backoff is the delay before the second attempt (default 100ms); it
+	// doubles per attempt, capped at MaxBackoff (default 3s), with up to
+	// 50% random jitter subtracted.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed fixes the jitter sequence for deterministic tests; 0 derives
+	// one from the address.
+	Seed int64
+
+	retries atomic.Uint64
+}
+
+func (d *Dialer) timeout() time.Duration {
+	if d.Timeout > 0 {
+		return d.Timeout
 	}
-	return Link{
-		Conn: conn,
-		Name: addr,
-		Redial: func() (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, dialTimeout)
-		},
-	}, nil
+	return dialTimeout
+}
+
+func (d *Dialer) attempts() int {
+	if d.Attempts > 0 {
+		return d.Attempts
+	}
+	return 4
+}
+
+func (d *Dialer) backoff() (base, cap time.Duration) {
+	base, cap = d.Backoff, d.MaxBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 3 * time.Second
+	}
+	return base, cap
+}
+
+// Retries returns the cumulative connection attempt count.
+func (d *Dialer) Retries() uint64 { return d.retries.Load() }
+
+// Dial connects to addr, retrying with backoff, and returns a redialable
+// Link wired to the same policy. The Link's Retries counter is this
+// dialer's.
+func (d *Dialer) Dial(addr string) (Link, error) {
+	seed := d.Seed
+	if seed == 0 {
+		for _, b := range []byte(addr) {
+			seed = seed*131 + int64(b)
+		}
+		seed++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rngMu sync.Mutex
+	redial := func() (net.Conn, error) {
+		base, max := d.backoff()
+		delay := base
+		var lastErr error
+		for i := 0; i < d.attempts(); i++ {
+			if i > 0 {
+				rngMu.Lock()
+				jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
+				rngMu.Unlock()
+				time.Sleep(delay - jitter)
+				delay *= 2
+				if delay > max {
+					delay = max
+				}
+			}
+			d.retries.Add(1)
+			conn, err := net.DialTimeout("tcp", addr, d.timeout())
+			if err == nil {
+				return conn, nil
+			}
+			lastErr = err
+		}
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, lastErr)
+	}
+	conn, err := redial()
+	if err != nil {
+		return Link{}, err
+	}
+	return Link{Conn: conn, Name: addr, Redial: redial, Retries: &d.retries}, nil
+}
+
+// Dial connects to a worker at addr and returns a redialable Link using
+// the default Dialer policy.
+func Dial(addr string) (Link, error) {
+	d := &Dialer{}
+	return d.Dial(addr)
 }
 
 // InProcess starts n workers, each served over a synchronous in-memory

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,11 +25,48 @@ type Worker struct {
 	owned   map[int]bool
 	applied uint64
 	errs    uint64
+
+	// maxTerm is the highest coordinator fencing term this worker has
+	// seen. Sessions opened at a lower term — a deposed coordinator that
+	// has not yet noticed its standby promoted — have their hello and all
+	// mutating requests rejected as fenced.
+	maxTerm uint64
+	// repl holds the per-shard replica logs (memory mode by default; file
+	// mode via SetLogDir). replGen maps shard → the post-commit generation
+	// its last replicated record proved — the currency proof replica reads
+	// check.
+	repl       *store.ReplicaLog
+	replGen    map[int]uint64
+	replicated uint64
+	replGaps   uint64
 }
 
 // NewWorker returns an empty worker; the coordinator's hello sizes it.
 func NewWorker() *Worker {
-	return &Worker{owned: make(map[int]bool)}
+	return &Worker{
+		owned:   make(map[int]bool),
+		repl:    store.NewMemReplicaLog(),
+		replGen: make(map[int]uint64),
+	}
+}
+
+// SetLogDir switches the worker's replica logs to file-backed mode in
+// dir, reopening any logs a previous process left there (their sequence
+// chains survive restarts; any record missed while down surfaces as a
+// gap on the next replicate and heals through resync). Call before
+// serving connections.
+func (w *Worker) SetLogDir(dir string, policy store.SyncPolicy) error {
+	l, err := store.OpenReplicaLog(dir, policy)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.repl != nil {
+		w.repl.Close()
+	}
+	w.repl = l
+	return nil
 }
 
 // Serve accepts connections until the listener closes, serving each on its
@@ -56,6 +94,10 @@ func (w *Worker) Serve(ln net.Listener) error {
 // connection cannot provoke a near-gigabyte allocation.
 func (w *Worker) ServeConn(conn io.ReadWriter) error {
 	limit := uint32(preHelloMaxFrame)
+	// sessTerm is the fencing term this connection's hello established;
+	// it lags w.maxTerm once a newer coordinator appears, which is what
+	// fences the old one's in-flight session.
+	var sessTerm uint64
 	for {
 		payload, err := readFrame(conn, limit)
 		if err != nil {
@@ -68,7 +110,7 @@ func (w *Worker) ServeConn(conn io.ReadWriter) error {
 			return fmt.Errorf("%w: empty message", ErrProtocol)
 		}
 		t := msgType(payload[0])
-		resp := w.handle(t, &reader{buf: payload, off: 1})
+		resp := w.handle(t, &reader{buf: payload, off: 1}, &sessTerm)
 		if err := writeFrame(conn, resp); err != nil {
 			return err
 		}
@@ -82,10 +124,10 @@ func (w *Worker) ServeConn(conn io.ReadWriter) error {
 }
 
 // handle dispatches one request and builds the response frame payload.
-func (w *Worker) handle(t msgType, r *reader) []byte {
+func (w *Worker) handle(t msgType, r *reader, sessTerm *uint64) []byte {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	resp, err := w.dispatch(t, r)
+	resp, err := w.dispatch(t, r, sessTerm)
 	if err != nil {
 		w.errs++
 		return append([]byte{byte(msgErr)}, err.Error()...)
@@ -93,10 +135,20 @@ func (w *Worker) handle(t msgType, r *reader) []byte {
 	return resp
 }
 
-func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
+// fenced guards mutating requests: a session helloed at a term below the
+// highest this worker has seen belongs to a deposed coordinator, and its
+// writes must not land after the successor's.
+func (w *Worker) fenced(sessTerm uint64) error {
+	if sessTerm < w.maxTerm {
+		return fmt.Errorf("fenced: session term %d superseded by term %d", sessTerm, w.maxTerm)
+	}
+	return nil
+}
+
+func (w *Worker) dispatch(t msgType, r *reader, sessTerm *uint64) ([]byte, error) {
 	switch t {
 	case msgHello:
-		version, shards, err := decodeHello(r)
+		version, shards, term, err := decodeHello(r)
 		if err != nil {
 			return nil, err
 		}
@@ -106,11 +158,20 @@ func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
 		if shards < 1 || shards > graph.MaxShards || shards&(shards-1) != 0 {
 			return nil, fmt.Errorf("invalid shard count %d", shards)
 		}
+		if term < w.maxTerm {
+			return nil, fmt.Errorf("fenced: hello term %d superseded by term %d", term, w.maxTerm)
+		}
+		w.maxTerm = term
+		*sessTerm = term
 		if w.g == nil || w.g.NumShards() != int(shards) {
 			// Fresh session with a different partitioning: any held state
-			// is for the wrong shard space, drop it.
+			// is for the wrong shard space, drop it — replica logs too.
 			w.g = graph.NewSharded(int(shards))
 			w.owned = make(map[int]bool)
+			for _, s := range w.repl.Shards() {
+				w.repl.Drop(s)
+			}
+			w.replGen = make(map[int]uint64)
 		}
 		owned := make([]int, 0, len(w.owned))
 		for s := range w.owned {
@@ -122,7 +183,18 @@ func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
 		if w.g == nil {
 			return nil, fmt.Errorf("place before hello")
 		}
+		if err := w.fenced(*sessTerm); err != nil {
+			return nil, err
+		}
 		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		replSeq, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		placeGen, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
@@ -141,11 +213,20 @@ func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
 			return nil, err
 		}
 		w.owned[int(s)] = true
+		// The parcel embodies every record through replSeq: restart the
+		// shard's replica log chain there.
+		if err := w.repl.Reset(int(s), replSeq); err != nil {
+			return nil, err
+		}
+		w.replGen[int(s)] = placeGen
 		return []byte{byte(msgOK)}, nil
 
 	case msgDrop:
 		if w.g == nil {
 			return nil, fmt.Errorf("drop before hello")
+		}
+		if err := w.fenced(*sessTerm); err != nil {
+			return nil, err
 		}
 		s, err := r.uvarint()
 		if err != nil {
@@ -159,11 +240,16 @@ func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
 		}
 		w.g.ResetShard(int(s))
 		delete(w.owned, int(s))
+		w.repl.Drop(int(s))
+		delete(w.replGen, int(s))
 		return []byte{byte(msgOK)}, nil
 
 	case msgApply:
 		if w.g == nil {
 			return nil, fmt.Errorf("apply before hello")
+		}
+		if err := w.fenced(*sessTerm); err != nil {
+			return nil, err
 		}
 		effs, err := decodeApply(r)
 		if err != nil {
@@ -210,11 +296,67 @@ func (w *Worker) dispatch(t msgType, r *reader) ([]byte, error) {
 		}
 		return append([]byte{byte(msgOK)}, parcel...), nil
 
+	case msgReplicate:
+		if w.g == nil {
+			return nil, fmt.Errorf("replicate before hello")
+		}
+		if err := w.fenced(*sessTerm); err != nil {
+			return nil, err
+		}
+		entries, postGen, recPayload, err := decodeReplicate(r)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := store.DecodeRecord(recPayload)
+		if err != nil {
+			return nil, err
+		}
+		statuses := make([]byte, len(entries))
+		for i, e := range entries {
+			if e.shard < 0 || e.shard >= w.g.NumShards() || !w.owned[e.shard] {
+				statuses[i] = replGap
+				w.replGaps++
+				continue
+			}
+			if err := w.repl.Append(e.shard, e.prevSeq, rec); err != nil {
+				if errors.Is(err, store.ErrSeqGap) {
+					// The chain broke — a record this replica missed, or a
+					// torn tail truncated on restart. Report the gap; the
+					// coordinator resyncs the shard by parcel.
+					statuses[i] = replGap
+					w.replGaps++
+					continue
+				}
+				return nil, err
+			}
+			w.replGen[e.shard] = postGen
+			w.replicated++
+		}
+		return encodeReplAck(entries, statuses), nil
+
+	case msgReplState:
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		states := make(map[int]ReplState)
+		for _, s := range w.repl.Shards() {
+			seq, _ := w.repl.LastSeq(s)
+			states[s] = ReplState{LastSeq: seq, Gen: w.replGen[s]}
+		}
+		return encodeReplStates(states), nil
+
 	case msgStat:
 		if err := r.done(); err != nil {
 			return nil, err
 		}
-		st := WorkerStat{Shards: map[int]int{}, Applied: w.applied, Errors: w.errs}
+		st := WorkerStat{
+			Shards:     map[int]int{},
+			Applied:    w.applied,
+			Errors:     w.errs,
+			Replicated: w.replicated,
+			ReplGaps:   w.replGaps,
+			Term:       w.maxTerm,
+		}
 		if w.g != nil {
 			for s := range w.owned {
 				st.Shards[s] = w.g.NumShardNodes(s)

@@ -234,20 +234,14 @@ func replay(f *os.File) ([]ReplayRecord, int64, uint64, error) {
 	return records, end, startGen, nil
 }
 
-// Append encodes b as one record stamped (seq, gen) and writes it,
-// fsyncing per the policy. The write-ahead contract is the caller's:
-// append first, mutate after.
-func (w *WAL) Append(b graph.Batch, gen uint64) error {
-	if w.broken != nil {
-		return w.broken
-	}
-	w.seq++
-	// The record is built in the reused scratch with 8 bytes reserved for
-	// the frame header, so the whole thing goes out in one Write with no
-	// per-append allocation (warm), and the common crash leaves either no
-	// bytes or a cleanly torn tail, never an interleaving.
-	frame := append(w.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
-	frame = binary.LittleEndian.AppendUint64(frame, w.seq)
+// appendFramedRecord appends one complete framed record — header plus
+// (seq, gen, batch) payload — to buf, reusing its capacity. It is the one
+// encoder behind both the WAL and the per-shard replica logs, so records
+// replicated over the wire and records appended locally are byte-identical
+// for identical stamps.
+func appendFramedRecord(buf []byte, seq, gen uint64, b graph.Batch) ([]byte, error) {
+	frame := append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	frame = binary.LittleEndian.AppendUint64(frame, seq)
 	frame = binary.LittleEndian.AppendUint64(frame, gen)
 	frame = binary.AppendUvarint(frame, uint64(len(b)))
 	for _, u := range b {
@@ -257,9 +251,7 @@ func (w *WAL) Append(b graph.Batch, gen uint64) error {
 		case graph.Delete:
 			frame = append(frame, 1)
 		default:
-			w.seq--
-			w.buf = frame[:0]
-			return fmt.Errorf("store: WAL append: unknown op %v", u.Op)
+			return frame[:len(buf)], fmt.Errorf("store: record encode: unknown op %v", u.Op)
 		}
 		frame = binary.AppendVarint(frame, int64(u.From))
 		frame = binary.AppendVarint(frame, int64(u.To))
@@ -270,11 +262,32 @@ func (w *WAL) Append(b graph.Batch, gen uint64) error {
 			frame = append(frame, u.ToLabel...)
 		}
 	}
-	payload := frame[8:]
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	payload := frame[len(buf)+8:]
+	binary.LittleEndian.PutUint32(frame[len(buf):len(buf)+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[len(buf)+4:len(buf)+8], crc32.ChecksumIEEE(payload))
+	return frame, nil
+}
+
+// Append encodes b as one record stamped (seq, gen) and writes it,
+// fsyncing per the policy. The write-ahead contract is the caller's:
+// append first, mutate after.
+func (w *WAL) Append(b graph.Batch, gen uint64) error {
+	if w.broken != nil {
+		return w.broken
+	}
+	w.seq++
+	// The record is built in the reused scratch, so the whole thing goes
+	// out in one Write with no per-append allocation (warm), and the
+	// common crash leaves either no bytes or a cleanly torn tail, never an
+	// interleaving.
+	frame, err := appendFramedRecord(w.buf[:0], w.seq, gen, b)
+	if err != nil {
+		w.seq--
+		w.buf = frame[:0]
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
 	w.buf = frame
-	_, err := w.f.Write(frame)
+	_, err = w.f.Write(frame)
 	if err == nil {
 		w.size += int64(len(frame))
 		if w.policy == SyncAlways {
