@@ -132,9 +132,7 @@ func TestStandbyFailoverSmoke(t *testing.T) {
 		return b
 	}
 
-	// First half of the stream through the primary. Quorum shipping plus
-	// the synchronous hub feed mean the standby has applied each batch by
-	// the time the primary's commit is acknowledged.
+	// First half of the stream through the primary.
 	for burst := 0; burst < 3; burst++ {
 		b := nextBurst()
 		stage(pc, b)
@@ -143,9 +141,21 @@ func TestStandbyFailoverSmoke(t *testing.T) {
 		sc.cmd(t, "commit")
 	}
 
-	// The standby serves current reads while tailing, and refuses writes.
-	health := bc.cmd(t, "health")
-	for _, field := range []string{"role=standby", "tail=live", "tail_seq=3"} {
+	// The hub feeds in commit order but acks asynchronously: wait for the
+	// standby to drain the stream, then check it serves current reads and
+	// refuses writes.
+	var health string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		health = bc.cmd(t, "health")
+		if strings.Contains(health, "tail_seq=3") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby health %q never reached tail_seq=3", health)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, field := range []string{"role=standby", "tail=live"} {
 		if !strings.Contains(health, field) {
 			t.Fatalf("standby health %q missing %q", health, field)
 		}

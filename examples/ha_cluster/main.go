@@ -135,8 +135,13 @@ func main() {
 	}
 	fmt.Printf("primary committed 4 batches (repl seq %d, %d resyncs); faults fired: %s\n",
 		primary.ReplSeq(), primary.Resyncs(), strings.Join(faults.Events(), "; "))
-	if got := standby.LastSeq(); got != primary.ReplSeq() {
-		log.Fatalf("standby at seq %d, primary at %d", got, primary.ReplSeq())
+	// Feeds are enqueued in commit order but acked asynchronously; wait
+	// for the standby to catch up before killing the primary.
+	for deadline := time.Now().Add(5 * time.Second); standby.LastSeq() != primary.ReplSeq(); {
+		if time.Now().After(deadline) {
+			log.Fatalf("standby at seq %d, primary at %d", standby.LastSeq(), primary.ReplSeq())
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	// The primary dies: feed severed, coordinator abandoned un-Closed —

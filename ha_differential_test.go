@@ -148,8 +148,14 @@ func TestHAFailoverMatchesUninterruptedRun(t *testing.T) {
 			t.Fatalf("primary batch %d: %v", i, err)
 		}
 	}
-	if got := standby.LastSeq(); got != uint64(cut) {
-		t.Fatalf("standby at seq %d after %d commits", got, cut)
+	// Feeds are enqueued in commit order but acked asynchronously; wait
+	// for the standby to drain the stream before killing the primary.
+	deadline = time.Now().Add(5 * time.Second)
+	for standby.LastSeq() != uint64(cut) {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby at seq %d after %d commits", standby.LastSeq(), cut)
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	// Kill the primary mid-stream: sever the feed and abandon the

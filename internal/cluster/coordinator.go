@@ -642,6 +642,16 @@ func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error
 			c.replLast[e.Shard] = c.replSeq
 		}
 		c.mu.Unlock()
+		// The standby feed runs inside the commit critical section:
+		// Hub.Feed requires commit order across ALL batches, and the
+		// per-shard locks alone would let two disjoint batches' post-unlock
+		// feeds invert (the standby's generation check then rejects the
+		// reordered record and marks a healthy replica stale). Feed only
+		// enqueues — it never waits on a standby — so this does not extend
+		// the serialized section by any network time.
+		if c.opts.OnCommit != nil {
+			c.opts.OnCommit(rep.seq, rep.preGen, rep.postGen, b)
+		}
 	}
 	c.commitMu.Unlock()
 	if err != nil {
@@ -649,13 +659,10 @@ func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error
 		return abort(fmt.Errorf("cluster: commit failed after phase 1; resyncing: %w", err))
 	}
 	c.applied.Add(1)
-	// Post-commit fan-out while the touched shards are still held, so
-	// same-shard records stay in commit order: the standby feed first,
-	// then the workers' replica logs. Neither can fail the batch — it is
-	// already durable locally.
-	if c.opts.OnCommit != nil {
-		c.opts.OnCommit(rep.seq, rep.preGen, rep.postGen, b)
-	}
+	// Worker log shipping fans out while the touched shards are still
+	// held, so same-shard records stay in commit order (cross-shard order
+	// is irrelevant to the per-shard chains). It cannot fail the batch —
+	// it is already durable locally.
 	if c.opts.Repl != ReplOff {
 		c.replicate(b, workerIDs, perWorker, rep)
 	}

@@ -301,9 +301,14 @@ func TestClusterStandbyPromoteRecoversIdentically(t *testing.T) {
 			t.Fatalf("batch %d: %v", i, err)
 		}
 	}
-	// Feeds ride the commit path and are acked before Apply returns.
-	if got := standby.LastSeq(); got != 4 {
-		t.Fatalf("standby at seq %d after 4 commits, want 4", got)
+	// Feeds are enqueued in commit order but acked asynchronously; wait
+	// for the standby to drain the stream before severing it.
+	deadline = time.Now().Add(5 * time.Second)
+	for standby.LastSeq() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby at seq %d after 4 commits, want 4", standby.LastSeq())
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	// The primary dies mid-stream: feed severed, coordinator abandoned
@@ -358,6 +363,155 @@ func TestClusterStandbyPromoteRecoversIdentically(t *testing.T) {
 	if err := co2.VerifyAll(); err != nil {
 		t.Fatalf("replicas diverged after failover: %v", err)
 	}
+}
+
+// TestHubFeedCommitOrderUnderConcurrentCommits pins the ordering
+// guarantee behind standby replication: OnCommit runs inside the
+// coordinator's commit critical section, so shard-disjoint batches
+// committing concurrently can never reach the hub out of sequence. The
+// standby here is stricter than incgraphd's — it requires gapless,
+// strictly increasing sequences AND the exact post-commit generation —
+// so a single inverted feed fails the run.
+func TestHubFeedCommitOrderUnderConcurrentCommits(t *testing.T) {
+	g := testGraph(t, 8)
+	links, _, stop := InProcess(2)
+	defer stop()
+
+	hub := NewHub(HubOptions{
+		Term:      1,
+		Heartbeat: 50 * time.Millisecond,
+		Snapshot: func() (uint64, uint64, []byte, error) {
+			var buf bytes.Buffer
+			if err := store.WriteSnapshot(&buf, g); err != nil {
+				return 0, 0, nil, err
+			}
+			return 0, g.Generation(), buf.Bytes(), nil
+		},
+	})
+	var (
+		sgMu    sync.Mutex
+		sg      *graph.Graph
+		lastSeq uint64
+	)
+	standby := NewStandby(StandbyOptions{
+		TTL: 5 * time.Second,
+		Load: func(term, seq, gen uint64, snap []byte) error {
+			loaded, err := store.ReadSnapshot(bytes.NewReader(snap), int64(len(snap)))
+			if err != nil {
+				return err
+			}
+			sgMu.Lock()
+			sg = loaded
+			sgMu.Unlock()
+			return nil
+		},
+		Apply: func(seq, postGen uint64, b graph.Batch) error {
+			sgMu.Lock()
+			defer sgMu.Unlock()
+			if seq != lastSeq+1 {
+				return fmt.Errorf("feed seq %d after %d: out of commit order", seq, lastSeq)
+			}
+			lastSeq = seq
+			if err := sg.ApplyBatch(b); err != nil {
+				return err
+			}
+			if sg.Generation() != postGen {
+				return fmt.Errorf("standby at gen %d after seq %d, primary said %d", sg.Generation(), seq, postGen)
+			}
+			return nil
+		},
+	})
+	hc, sc := net.Pipe()
+	tailDone := make(chan error, 1)
+	go hub.ServeConn(hc)
+	go func() { tailDone <- standby.Run(sc) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Standbys() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The hook adds seq-dependent latency (a stand-in for variable record
+	// encode time): the ordering guarantee must come from the coordinator
+	// serializing OnCommit with the commit, not from the hook being fast.
+	co, err := NewCoordinatorWith(g, links, CoordinatorOptions{
+		Term: 1, Repl: ReplAsync,
+		OnCommit: func(seq, preGen, postGen uint64, b graph.Batch) {
+			time.Sleep(time.Duration(seq%3) * time.Millisecond)
+			hub.Feed(seq, preGen, postGen, b)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	// Rounds of single-shard batches with disjoint TouchedShards fired
+	// concurrently (the TestDisjointBatchesRouteConcurrently workload), so
+	// overlapping-in-time commits are the norm, not the exception.
+	var total uint64
+	for round := 0; round < 5; round++ {
+		scratch := g.Clone()
+		all := gen.Updates(scratch, gen.UpdateSpec{Count: 200, InsertRatio: 0.6, Locality: 0.3, Seed: 500 + int64(round)})
+		byShard := make(map[int]graph.Batch)
+		for _, u := range all {
+			if sf, st := g.ShardOf(u.From), g.ShardOf(u.To); sf == st {
+				byShard[sf] = append(byShard[sf], u)
+			}
+		}
+		check := g.Clone()
+		var batches []graph.Batch
+		for s := 0; s < 8; s++ {
+			if b := byShard[s]; len(b) > 0 && check.ValidateBatch(b) == nil {
+				if err := check.ApplyBatch(b); err != nil {
+					t.Fatal(err)
+				}
+				batches = append(batches, b)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(batches))
+		for i, b := range batches {
+			wg.Add(1)
+			go func(i int, b graph.Batch) {
+				defer wg.Done()
+				errs[i] = co.Apply(b, commitLocal(g))
+			}(i, b)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d batch %d: %v", round, i, err)
+			}
+		}
+		total += uint64(len(batches))
+	}
+
+	// Drain the feed; a tail death here means an out-of-order or
+	// generation-mismatched record got through.
+	deadline = time.Now().Add(10 * time.Second)
+	for standby.LastSeq() != total {
+		select {
+		case err := <-tailDone:
+			t.Fatalf("standby tail died mid-stream: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby at seq %d, want %d", standby.LastSeq(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sgMu.Lock()
+	diverged := !sg.Equal(g)
+	sgMu.Unlock()
+	if diverged {
+		t.Fatal("standby graph diverged from primary after concurrent commits")
+	}
+	hub.Close()
+	hc.Close()
+	<-tailDone
 }
 
 func TestStandbyLeaseExpires(t *testing.T) {

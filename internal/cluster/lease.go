@@ -58,12 +58,84 @@ type Hub struct {
 	conns map[*hubConn]struct{}
 }
 
+// feedQueueCap bounds how many unacked pushes a standby may fall behind
+// before the hub drops it (it reconnects and re-handshakes from a fresh
+// snapshot). The cap is what keeps Feed non-blocking on the commit path.
+const feedQueueCap = 128
+
+// pushTimeout bounds one push round trip (write + standby ack) on the
+// sender goroutine, scaled by frame size like every link deadline.
+const pushTimeout = 10 * time.Second
+
 type hubConn struct {
 	conn net.Conn
-	// sendMu serializes pushes (feeds from Feed, pings from the
-	// heartbeat loop): one request in flight, like every link.
-	sendMu sync.Mutex
-	dead   bool
+	// queue carries encoded push frames (feeds from Feed, pings from the
+	// heartbeat loop) to the sender goroutine, which performs one acked
+	// round trip per frame. The channel preserves enqueue order, and the
+	// sender starts only after the handshake response is on the wire — so
+	// pushes are totally ordered per connection, strictly after the
+	// handshake, with a single writer on the socket.
+	queue chan []byte
+
+	mu   sync.Mutex
+	dead bool
+	err  error
+}
+
+// enqueue hands one push frame to the sender. It never blocks: a full
+// queue means the standby is feedQueueCap acks behind, and it is dropped
+// rather than allowed to stall the caller (Feed runs on the commit path).
+func (hc *hubConn) enqueue(req []byte) bool {
+	hc.mu.Lock()
+	if hc.dead {
+		hc.mu.Unlock()
+		return false
+	}
+	select {
+	case hc.queue <- req:
+		hc.mu.Unlock()
+		return true
+	default:
+		hc.dead = true
+		hc.err = fmt.Errorf("cluster: standby fell %d pushes behind", feedQueueCap)
+		hc.mu.Unlock()
+		hc.conn.Close() // interrupts the sender's in-flight round trip
+		return false
+	}
+}
+
+// fail marks the connection dead (keeping the first error) and closes it.
+func (hc *hubConn) fail(err error) {
+	hc.mu.Lock()
+	if !hc.dead {
+		hc.dead = true
+		hc.err = err
+	}
+	hc.mu.Unlock()
+	hc.conn.Close()
+}
+
+// failure returns the error that killed the connection.
+func (hc *hubConn) failure() error {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.err
+}
+
+// sender drains the queue: one round trip per frame, acked by the standby
+// before the next is written. Any failure — transport or a standby-
+// reported apply error — kills the connection; the standby reconnects and
+// re-handshakes from a fresh snapshot.
+func (hc *hubConn) sender() {
+	for req := range hc.queue {
+		hc.conn.SetDeadline(time.Now().Add(pushTimeout + time.Duration(len(req)>>20)*time.Second))
+		_, err := roundTrip(hc.conn, req)
+		hc.conn.SetDeadline(time.Time{})
+		if err != nil {
+			hc.fail(err)
+			return
+		}
+	}
 }
 
 // NewHub returns a hub ready to accept standby connections.
@@ -119,51 +191,42 @@ func (h *Hub) ServeConn(conn net.Conn) error {
 		writeFrame(conn, append([]byte{byte(msgErr)}, err.Error()...))
 		return err
 	}
-	hc := &hubConn{conn: conn}
+	hc := &hubConn{conn: conn, queue: make(chan []byte, feedQueueCap)}
 	h.conns[hc] = struct{}{}
 	h.mu.Unlock()
 	defer func() {
 		h.mu.Lock()
 		delete(h.conns, hc)
 		h.mu.Unlock()
+		hc.fail(net.ErrClosed)
 	}()
+	// Commits landing from here on queue behind the sender, which starts
+	// only after the handshake response is written — so the standby's
+	// first frame is always the tail response, never an early feed, and
+	// the socket has exactly one writer at any time.
 	if err := writeFrame(conn, encodeTailResp(h.opts.Term, seq, gen, snap)); err != nil {
 		return err
 	}
-	// Role flip: this goroutine now only heartbeats; Feed pushes records
-	// from the commit path. Both serialize on sendMu.
+	go hc.sender()
+	// Role flip: this goroutine now only heartbeats; Feed enqueues records
+	// from the commit path. The sender serializes both onto the wire.
 	tick := time.NewTicker(h.heartbeat())
 	defer tick.Stop()
 	ping := encodePing(h.opts.Term)
 	for range tick.C {
-		if err := hc.push(ping, h.heartbeat()*2); err != nil {
-			return err
+		if !hc.enqueue(ping) {
+			return hc.failure()
 		}
 	}
 	return nil
 }
 
-// push sends one request and waits for the standby's ack.
-func (hc *hubConn) push(req []byte, timeout time.Duration) error {
-	hc.sendMu.Lock()
-	defer hc.sendMu.Unlock()
-	if hc.dead {
-		return net.ErrClosed
-	}
-	hc.conn.SetDeadline(time.Now().Add(timeout + time.Duration(len(req)>>20)*time.Second))
-	_, err := roundTrip(hc.conn, req)
-	hc.conn.SetDeadline(time.Time{})
-	if err != nil && !IsRemote(err) {
-		hc.dead = true
-		hc.conn.Close()
-	}
-	return err
-}
-
 // Feed pushes one committed record to every attached standby. Wire it as
 // CoordinatorOptions.OnCommit; it must be called in commit order (the
-// coordinator's hook is). A standby that fails to ack is dropped — it
-// will reconnect and re-handshake from a fresh snapshot.
+// coordinator's hook is). Feed never blocks on a standby — it enqueues to
+// each connection's sender, and a standby that is feedQueueCap acks
+// behind (or fails an ack) is dropped: it will reconnect and re-handshake
+// from a fresh snapshot.
 func (h *Hub) Feed(seq, preGen, postGen uint64, b graph.Batch) {
 	h.mu.Lock()
 	targets := make([]*hubConn, 0, len(h.conns))
@@ -180,7 +243,7 @@ func (h *Hub) Feed(seq, preGen, postGen uint64, b graph.Batch) {
 	}
 	req := encodeFeed(postGen, payload)
 	for _, hc := range targets {
-		hc.push(req, 10*time.Second)
+		hc.enqueue(req)
 	}
 }
 
@@ -218,8 +281,8 @@ type Standby struct {
 	term uint64
 	// base is the handshake snapshot's position; fed records at or below
 	// it are duplicates of snapshotted state. seq is the highest position
-	// applied (feeds of disjoint batches may arrive slightly out of
-	// commit order, so seq advances monotonically, not strictly).
+	// applied (the hub feeds in commit order, but the guard stays
+	// monotonic rather than strict for robustness).
 	base uint64
 	seq  uint64
 	gen  uint64

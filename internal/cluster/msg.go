@@ -148,14 +148,26 @@ func encodeHello(shards int, term uint64) []byte {
 	return buf
 }
 
-// decodeHello parses a hello body (type byte already consumed).
+// decodeHello parses a hello body (type byte already consumed). The body
+// past the version field is version-specific (v2 added the term), so an
+// unsupported version returns with only version populated and no error —
+// the caller rejects on version with a proper "not supported" message
+// instead of a confusing short-read/trailing-bytes protocol error.
 func decodeHello(r *reader) (version, shards uint32, term uint64, err error) {
-	b, err := r.bytes(16)
+	b, err := r.bytes(4)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:]),
-		binary.LittleEndian.Uint64(b[8:]), r.done()
+	version = binary.LittleEndian.Uint32(b)
+	if version != protocolVersion {
+		return version, 0, 0, nil
+	}
+	b, err = r.bytes(12)
+	if err != nil {
+		return version, 0, 0, err
+	}
+	return version, binary.LittleEndian.Uint32(b),
+		binary.LittleEndian.Uint64(b[4:]), r.done()
 }
 
 // encodeShardList is the hello/stat-style "uvarint count + shards" body.
