@@ -29,6 +29,12 @@ type (
 	ClusterStat = cluster.Stat
 )
 
+// ErrClusterOverloaded reports a Cluster.ApplyDeadline that was shed at
+// shard admission: its per-op deadline expired while conflicting batches
+// held its shards. Nothing was applied anywhere; the batch is safe to
+// retry. Serving layers surface it as an explicit backpressure reply.
+var ErrClusterOverloaded = cluster.ErrOverloaded
+
 // NewCluster attaches the linked workers as shard workers of g,
 // handshaking each and placing every shard round-robin. While the cluster
 // is attached, Cluster.Apply (or Durable.ApplyVia) must be the only

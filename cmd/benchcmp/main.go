@@ -23,6 +23,21 @@
 //
 //	benchcmp -baseline BENCH_5.json -current fresh.json
 //	         [-time-ratio 2.5] [-alloc-ratio 1.15] [-alloc-slack 256] [-md]
+//
+// # Re-baselining
+//
+// The baseline is a committed artifact, so an intentional performance
+// change (or a new benchmark shape) is recorded by regenerating it, not
+// by loosening the gates:
+//
+//	go run ./cmd/benchmark -json > BENCH_N.json   # on a quiet machine
+//	git add BENCH_N.json                          # commit alongside the change
+//
+// and pointing CI's -baseline at the new file. Record the baseline on
+// the same hardware class CI uses where possible; the wall-clock gate is
+// generous precisely so a baseline from a faster machine doesn't fail
+// every run, but allocation counts must come from the same code revision
+// you intend to gate against.
 package main
 
 import (
@@ -79,12 +94,12 @@ func main() {
 	}
 	base, err := load(*baselinePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		fmt.Fprintln(os.Stderr, describeLoadError("baseline", *baselinePath, err))
 		os.Exit(2)
 	}
 	cur, err := load(*currentPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		fmt.Fprintln(os.Stderr, describeLoadError("current", *currentPath, err))
 		os.Exit(2)
 	}
 	rows, regressed := compare(base, cur, gates{
@@ -98,6 +113,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp: REGRESSION against baseline")
 		os.Exit(1)
 	}
+}
+
+// describeLoadError turns a load failure into an actionable message. A
+// missing or unreadable baseline is the common operational mistake (new
+// checkout, renamed BENCH_*.json, forgotten re-baseline after adding a
+// benchmark), so that case spells out how to record one instead of
+// leaking a bare open error from the middle of a CI log.
+func describeLoadError(role, path string, err error) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchcmp: cannot load %s %s: %v", role, path, err)
+	if role == "baseline" {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(&b, "\n\nNo baseline exists at that path. Record one on a quiet machine:\n\n"+
+				"\tgo run ./cmd/benchmark -json > %s\n\n"+
+				"commit it, and point -baseline at the committed file. See the\n"+
+				"re-baselining section in 'go doc ./cmd/benchcmp'.", path)
+		} else {
+			fmt.Fprintf(&b, "\n\nThe baseline is unreadable. If it is stale or corrupt, regenerate it\n"+
+				"(go run ./cmd/benchmark -json > %s) and commit the result; see the\n"+
+				"re-baselining section in 'go doc ./cmd/benchcmp'.", path)
+		}
+	}
+	return b.String()
 }
 
 // load parses a JSON-lines benchmark file into id-keyed experiments.

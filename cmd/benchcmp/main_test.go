@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -229,5 +231,45 @@ func TestRenderMarkdown(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("markdown output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// A missing baseline must explain how to record one, not leak a bare
+// open(2) error from the middle of a CI log.
+func TestMissingBaselineMessageIsActionable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_9.json")
+	_, err := load(path)
+	if err == nil {
+		t.Fatal("loaded a baseline that does not exist")
+	}
+	msg := describeLoadError("baseline", path, err)
+	for _, want := range []string{
+		"cannot load baseline",
+		path,
+		"go run ./cmd/benchmark -json",
+		"re-baselining",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message missing %q:\n%s", want, msg)
+		}
+	}
+
+	// Unreadable (corrupt) baselines point at regeneration too.
+	bad := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = load(bad)
+	if err == nil {
+		t.Fatal("loaded corrupt JSON")
+	}
+	if msg := describeLoadError("baseline", bad, err); !strings.Contains(msg, "regenerate") {
+		t.Fatalf("corrupt-baseline message not actionable:\n%s", msg)
+	}
+
+	// The current-run side stays terse: its fix is rerunning the bench,
+	// and the hint would be misleading there.
+	if msg := describeLoadError("current", path, err); strings.Contains(msg, "re-baselining") {
+		t.Fatalf("current-run message carries the baseline hint:\n%s", msg)
 	}
 }

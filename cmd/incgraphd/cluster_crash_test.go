@@ -197,9 +197,18 @@ func TestClusterCrashRecovery(t *testing.T) {
 				class, clusterAns, singleAns)
 		}
 	}
-	statLine = cc.cmd(t, "stat")
-	if !strings.Contains(statLine, "cluster_workers=2/2") {
-		t.Fatalf("stat %q does not show the restarted worker reattached", statLine)
+	// Worker liveness in stat is served from a bounded-staleness cache
+	// (statTTL), so the reattach may take one TTL to show up.
+	deadline := time.Now().Add(5 * statTTL)
+	for {
+		statLine = cc.cmd(t, "stat")
+		if strings.Contains(statLine, "cluster_workers=2/2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stat %q does not show the restarted worker reattached", statLine)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	if !strings.Contains(statLine, "cluster_resyncs=") {
 		t.Fatalf("stat %q missing cluster_resyncs", statLine)

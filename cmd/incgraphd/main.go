@@ -17,10 +17,13 @@
 //	          [-checkpoint-bytes N]
 //	          [-cluster addr1,addr2 | -cluster-spawn N]
 //	          [-repl off|async|quorum] [-term N] [-hub :7423]
+//	          [-max-conns N] [-idle-timeout D] [-op-timeout D]
+//	          [-max-staged N] [-commit-inflight N] [-commit-queue N]
+//	          [-read-inflight N] [-read-queue N]
 //	incgraphd worker [-addr :7431] [-logdir DIR [-fsync always|none]]
 //	incgraphd standby -primary HOST:7423 -store DIR [-addr :7422]
 //	          [engine flags] [-ttl 2s] [-cluster addr1,addr2]
-//	          [-repl off|async|quorum]
+//	          [-repl off|async|quorum] [overload flags as above]
 //
 // On first start -graph seeds the store (text or .snap format, sniffed);
 // later starts recover from the store and ignore -graph. The standing
@@ -82,6 +85,19 @@
 // lock and hit the engines' generation-stamped caches, so any number of
 // connections read concurrently between commits; commits and checkpoints
 // are exclusive.
+//
+// # Overload behavior
+//
+// The daemon degrades explicitly, never silently: past -max-conns new
+// connections get "err overloaded" at accept; a connection that cannot
+// deliver a full line within -idle-timeout (however slowly it trickles
+// bytes) or drain a reply within -op-timeout is cut; staging past
+// -max-staged is refused; and commit/query admission is gated (bounded in
+// flight, bounded queue, bounded wait) with excess load shed as
+// "err overloaded: ...; retry in 100ms". Every shed, refused stage,
+// oversized line and deadline drop is a counter in "stat". See the
+// package documentation's "Overload & admission control" section for the
+// degradation contract.
 package main
 
 import (
@@ -134,6 +150,7 @@ func main() {
 		repl         = flag.String("repl", "off", "cluster log-shipping policy: off|async|quorum")
 		hubAddr      = flag.String("hub", "", "listen address for standby feed connections (HA primary)")
 	)
+	lim := limitFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(config{
@@ -154,6 +171,7 @@ func main() {
 		term:         *term,
 		repl:         *repl,
 		hubAddr:      *hubAddr,
+		lim:          *lim,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "incgraphd: %v\n", err)
 		os.Exit(1)
@@ -172,6 +190,7 @@ type config struct {
 	term                        uint64
 	repl                        string
 	hubAddr                     string
+	lim                         limits
 }
 
 // parseSync maps the -fsync flag to a WAL sync policy.
@@ -424,7 +443,7 @@ func run(cfg config) error {
 	// The server is built before the cluster so the HA hub's snapshot
 	// callback can serialize against its lock; the coordinator (if any)
 	// is installed below, before serving starts.
-	srv := newServer(d, nil, cfg.ckptBytes)
+	srv := newServer(d, nil, cfg.ckptBytes, cfg.lim)
 	srv.repl = repl
 
 	// HA hub: standbys connect here, handshake a snapshot, and tail every

@@ -36,16 +36,44 @@ type server struct {
 	ckptBytes int64
 	byClass   map[string]incgraph.Maintained
 
+	// lim is the overload posture; commitGate/readGate are its admission
+	// gates (nil when ungated). See admission.go for the layer contract.
+	lim        limits
+	commitGate *gate
+	readGate   *gate
+	// commitMu serializes the durable half of every commit (WAL append +
+	// in-memory apply + auto-checkpoint + standby feed) and the checkpoint
+	// verb. The WAL fsync and checkpoint I/O run under it but OUTSIDE mu,
+	// so a stalled disk backs up writers — who shed at the gate — while
+	// readers keep answering. Lock order: commitMu before mu, always.
+	commitMu sync.Mutex
+
 	// HA primary state. hub, when non-nil, feeds every committed batch to
 	// attached standbys; feedSeq numbers the feed stream and is updated
 	// inside the same mu critical section as the graph mutation, so the
 	// hub's snapshot callback reads a (seq, state) pair no committed batch
-	// can fall between. feedMu orders single-process feeds (cluster-mode
+	// can fall between. commitMu orders single-process feeds (cluster-mode
 	// feeds ride the coordinator's OnCommit hook, which is already
 	// ordered).
 	hub     *incgraph.ClusterHub
-	feedMu  sync.Mutex
 	feedSeq uint64
+
+	// Cluster-stat cache: "stat" must answer in bounded time even with a
+	// dead or stalled worker, so worker polls run at most once per statTTL,
+	// in the background once a first result exists, and with a short
+	// parallel poll timeout. Guarded by statMu.
+	statMu    sync.Mutex
+	statCache []incgraph.ClusterStat
+	statAt    time.Time
+	statBusy  bool
+
+	// Durable-metadata mirror for stat/health. With the WAL fsync running
+	// under commitMu outside mu, the store's counters mutate outside the
+	// read lock; readers load these mirrors (refreshed by syncDurableMeta
+	// after every durable mutation) instead of racing the store.
+	walBytes atomic.Int64
+	walSeq   atomic.Uint64
+	epoch    atomic.Uint64
 
 	// HA standby state (role == roleStandby until promote). tail tracks
 	// the feed's liveness for the read path's staleness gate; standby,
@@ -59,17 +87,38 @@ type server struct {
 	workerAddrs []string
 	repl        incgraph.ReplPolicy
 	// connMu/conns track live connections so shutdown can cut idle
-	// readers instead of waiting for clients to hang up.
+	// readers instead of waiting for clients to hang up; nconns mirrors
+	// len(conns) for the accept-time cap and "stat".
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+	nconns atomic.Int64
 	// Operational counters, exposed by "stat" so operators can see what
 	// the logs saw: transient accept failures, and commits that failed
 	// for operational reasons (cluster phase-1 failure, WAL trouble) —
 	// batch-validation rejections are client input errors and are only
-	// replied to, not counted or logged.
-	acceptErrs atomic.Uint64
-	commitErrs atomic.Uint64
+	// replied to, not counted or logged. The overload counters below track
+	// every shed and deadline drop so graceful degradation is observable,
+	// not silent.
+	acceptErrs   atomic.Uint64
+	commitErrs   atomic.Uint64
+	connsShed    atomic.Uint64 // connections shed at accept (max-conns)
+	stagedShed   atomic.Uint64 // stage commands refused at max-staged
+	linesTooLong atomic.Uint64 // oversized protocol lines (replied, then cut)
+	idleDrops    atomic.Uint64 // connections cut by the per-line read deadline
+	clusterShed  atomic.Uint64 // commits shed by the cluster's shard-admission deadline
 }
+
+// maxLineBytes caps one protocol line (the scanner buffer limit). A line
+// past it is answered with "err line too long" and the connection is cut:
+// the stream cannot be resynchronized mid-line.
+const maxLineBytes = 1 << 20
+
+// Cluster-stat cache tuning: results are fresh for statTTL; refresh polls
+// run in parallel across workers with statPollTimeout each.
+const (
+	statTTL         = time.Second
+	statPollTimeout = time.Second
+)
 
 // Serving roles. A standby is read-only until "promote" flips it.
 const (
@@ -98,13 +147,26 @@ func tailName(s int32) string {
 	}
 }
 
-func newServer(d *incgraph.Durable, cl *incgraph.Cluster, ckptBytes int64) *server {
+func newServer(d *incgraph.Durable, cl *incgraph.Cluster, ckptBytes int64, lim limits) *server {
 	byClass := make(map[string]incgraph.Maintained, len(d.Engines()))
 	for _, m := range d.Engines() {
 		byClass[m.Class()] = m
 	}
-	return &server{d: d, cl: cl, ckptBytes: ckptBytes, byClass: byClass,
-		role: rolePrimary, conns: make(map[net.Conn]struct{})}
+	s := &server{d: d, cl: cl, ckptBytes: ckptBytes, byClass: byClass,
+		lim:        lim,
+		commitGate: newGate(lim.commitSlots, lim.commitQueue, lim.opTimeout),
+		readGate:   newGate(lim.readSlots, lim.readQueue, lim.opTimeout),
+		role:       rolePrimary, conns: make(map[net.Conn]struct{})}
+	s.syncDurableMeta()
+	return s
+}
+
+// syncDurableMeta refreshes the durable-metadata mirror stat and health
+// read. Call after any durable mutation, holding commitMu.
+func (s *server) syncDurableMeta() {
+	s.walBytes.Store(s.d.WALBytes())
+	s.walSeq.Store(s.d.WALSeq())
+	s.epoch.Store(s.d.Epoch())
 }
 
 // cluster returns the current coordinator (promote installs one late).
@@ -119,8 +181,10 @@ func (s *server) track(conn net.Conn, add bool) {
 	s.connMu.Lock()
 	if add {
 		s.conns[conn] = struct{}{}
-	} else {
+		s.nconns.Add(1)
+	} else if _, ok := s.conns[conn]; ok {
 		delete(s.conns, conn)
+		s.nconns.Add(-1)
 	}
 	s.connMu.Unlock()
 }
@@ -167,6 +231,10 @@ func (s *server) serve(addr string, stop <-chan struct{}) error {
 			select {
 			case <-done:
 				wg.Wait()
+				// commitMu too: a standby's feed goroutine (not in wg) may
+				// be mid-apply; the WAL must not close under it.
+				s.commitMu.Lock()
+				defer s.commitMu.Unlock()
 				s.mu.Lock()
 				defer s.mu.Unlock()
 				log.Printf("shutting down (gen %d, WAL seq %d)", s.d.Generation(), s.d.WALSeq())
@@ -193,6 +261,20 @@ func (s *server) serve(addr string, stop <-chan struct{}) error {
 			continue
 		}
 		backoff = 5 * time.Millisecond
+		// Accept-time shedding: past the connection cap, answer with an
+		// explicit overload error instead of serving (or letting the
+		// backlog grow). The check is racy by a handful of connections
+		// under a burst — the cap is a defense, not an invariant.
+		if s.lim.maxConns > 0 && int(s.nconns.Load()) >= s.lim.maxConns {
+			s.connsShed.Add(1)
+			go func(c net.Conn) {
+				c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				fmt.Fprintf(c, "err overloaded: connection limit %d reached; retry in %dms\n",
+					s.lim.maxConns, retryHintMS)
+				c.Close()
+			}(conn)
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -208,14 +290,33 @@ func (s *server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	sc.Buffer(make([]byte, 0, 1<<16), maxLineBytes)
 	out := bufio.NewWriter(conn)
-	reply := func(format string, args ...any) bool {
-		fmt.Fprintf(out, format+"\n", args...)
+	// Every flush runs under a write deadline: a client that stops
+	// draining its socket is cut at the op timeout instead of holding the
+	// handler goroutine (and whatever it has admitted) forever.
+	flush := func() bool {
+		if s.lim.opTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.lim.opTimeout))
+			defer conn.SetWriteDeadline(time.Time{})
+		}
 		return out.Flush() == nil
 	}
+	reply := func(format string, args ...any) bool {
+		fmt.Fprintf(out, format+"\n", args...)
+		return flush()
+	}
 	var pending incgraph.Batch
-	for sc.Scan() {
+	for {
+		// Arm the per-line deadline when the wait for a line STARTS and do
+		// not refresh it per byte: a byte-at-a-time slow-loris client hits
+		// it exactly like an idle one.
+		if s.lim.idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.lim.idle))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -226,6 +327,13 @@ func (s *server) handle(conn net.Conn) {
 			u, err := parseUpdate(fields)
 			if err != nil {
 				if !reply("err %v", err) {
+					return
+				}
+				continue
+			}
+			if s.lim.maxStaged > 0 && len(pending) >= s.lim.maxStaged {
+				s.stagedShed.Add(1)
+				if !reply("err staged limit %d reached: commit or abort first", s.lim.maxStaged) {
 					return
 				}
 				continue
@@ -241,10 +349,14 @@ func (s *server) handle(conn net.Conn) {
 				return
 			}
 		case "commit":
-			batch := pending
-			pending = nil
-			if !s.commit(batch, reply) {
+			// A shed keeps the staged batch: "retry in 100ms" must mean
+			// re-sending "commit", not re-staging everything.
+			shed, alive := s.commit(pending, reply)
+			if !alive {
 				return
+			}
+			if !shed {
+				pending = nil
 			}
 		case "query", "answer":
 			if len(fields) != 2 {
@@ -253,7 +365,7 @@ func (s *server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			if !s.read(fields[0], fields[1], out, reply) {
+			if !s.read(fields[0], fields[1], conn, out, reply) {
 				return
 			}
 		case "stat":
@@ -269,10 +381,14 @@ func (s *server) handle(conn net.Conn) {
 				return
 			}
 		case "checkpoint":
-			s.mu.Lock()
+			// commitMu, not mu: snapshot writing only reads the graph (no
+			// mutator runs without commitMu), so readers keep answering
+			// while the checkpoint's I/O drains.
+			s.commitMu.Lock()
 			err := s.d.Checkpoint()
-			epoch := s.d.Epoch()
-			s.mu.Unlock()
+			s.syncDurableMeta()
+			epoch := s.epoch.Load()
+			s.commitMu.Unlock()
 			if err != nil {
 				if !reply("err checkpoint: %v", err) {
 					return
@@ -291,92 +407,148 @@ func (s *server) handle(conn net.Conn) {
 			}
 		}
 	}
+	// The scan ended without a clean quit: tell the client why before the
+	// deferred close when we can, and count what happened.
+	switch err := sc.Err(); {
+	case err == nil:
+		// EOF: client hung up.
+	case errors.Is(err, bufio.ErrTooLong):
+		// The stream cannot be resynchronized mid-line, so the connection
+		// must die — but with an explicit reply first, not a silent cut.
+		s.linesTooLong.Add(1)
+		reply("err line too long: max %d bytes per line", maxLineBytes)
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			// Per-line read deadline: idle or slow-loris. The read side is
+			// dead but the write side usually is not; say why we hung up.
+			s.idleDrops.Add(1)
+			reply("err idle timeout: no complete line in %v", s.lim.idle)
+		}
+	}
 }
 
 // commit applies one staged batch and reports ΔO per class, then
-// auto-checkpoints past the WAL threshold. Single-process commits run
-// entirely under the write lock; cluster commits run phase 1 over the
-// wire first (the coordinator serializes conflicting batches by shard)
-// and take the write lock only for the local durable apply.
-func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) bool {
+// auto-checkpoints past the WAL threshold. The path is gated (bounded
+// commits in flight, bounded queue, bounded wait — excess load is shed
+// with an explicit overload reply) and split so the WAL fsync runs under
+// commitMu but outside the write lock: a stalled disk backs up committers,
+// who shed at the gate, while readers keep answering from the caches.
+// Cluster commits additionally run phase 1 over the wire before any lock
+// (the coordinator serializes conflicting batches by shard, shedding at
+// the per-op deadline) and take the write lock only for the in-memory
+// apply.
+//
+// The returned shed is true when the batch was refused by admission
+// control (nothing was applied; the caller keeps it staged so a bare
+// retry works); alive is false when the connection died mid-reply.
+func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (shed, alive bool) {
 	if len(batch) == 0 {
-		return reply("err nothing staged")
+		return false, reply("err nothing staged")
 	}
 	s.mu.RLock()
 	role, cl, hub := s.role, s.cl, s.hub
 	s.mu.RUnlock()
 	if role == roleStandby {
-		return reply("err standby is read-only: promote to accept commits")
+		return false, reply("err standby is read-only: promote to accept commits")
+	}
+	if s.commitGate.enter() != nil {
+		return true, reply("err overloaded: commit queue full; retry in %dms", retryHintMS)
+	}
+	defer s.commitGate.exit()
+	var deadline time.Time
+	if s.lim.opTimeout > 0 {
+		deadline = time.Now().Add(s.lim.opTimeout)
 	}
 	var (
 		sums []incgraph.DeltaSummary
 		err  error
 	)
 	var preGen, gen, seq uint64
-	durableApply := func(b incgraph.Batch) ([]incgraph.DeltaSummary, uint64, int64, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+	// durableApply is the commit step; the caller must hold commitMu
+	// (directly, or around the coordinator's commit callback). Only the
+	// in-memory apply is read-exclusive.
+	durableApply := func(b incgraph.Batch) error {
 		preGen = s.d.Generation()
-		sums, aerr := s.d.Apply(b)
+		if lerr := s.d.Log(b); lerr != nil {
+			s.syncDurableMeta()
+			return lerr
+		}
+		s.mu.Lock()
+		var aerr error
+		sums, aerr = s.d.ApplyLogged(b)
 		if aerr == nil && hub != nil {
 			// Numbered inside the critical section so the hub's snapshot
 			// callback sees seq and graph state move together.
 			s.feedSeq++
 			seq = s.feedSeq
 		}
-		gen, walBytes := s.d.Generation(), s.d.WALBytes()
+		var walBytes int64
+		gen, walBytes = s.d.Generation(), s.d.WALBytes()
+		s.mu.Unlock()
 		if aerr == nil && s.ckptBytes > 0 && walBytes > s.ckptBytes {
+			// Checkpoint I/O under commitMu only: snapshot writing reads
+			// the graph, which is safe alongside concurrent readers.
 			if cerr := s.d.Checkpoint(); cerr != nil {
 				log.Printf("auto-checkpoint failed: %v", cerr)
 			} else {
 				log.Printf("auto-checkpoint at WAL %d bytes (epoch %d)", walBytes, s.d.Epoch())
 			}
 		}
-		return sums, gen, walBytes, aerr
+		s.syncDurableMeta()
+		return aerr
 	}
 	switch {
 	case cl != nil:
 		// Cluster mode: the coordinator's OnCommit hook (wired to the
 		// hub's Feed in main) runs the standby feed in commit order while
-		// the batch's shards are still held.
-		err = cl.Apply(batch, func(b incgraph.Batch) error {
-			var aerr error
-			sums, gen, _, aerr = durableApply(b)
-			return aerr
+		// the batch's shards are still held. The per-op deadline caps both
+		// the shard-admission wait and the phase-1 remote round trips.
+		err = cl.ApplyDeadline(batch, deadline, func(b incgraph.Batch) error {
+			s.commitMu.Lock()
+			defer s.commitMu.Unlock()
+			return durableApply(b)
 		})
+		if errors.Is(err, incgraph.ErrClusterOverloaded) {
+			s.clusterShed.Add(1)
+			return true, reply("err overloaded: shards busy past the op deadline; retry in %dms", retryHintMS)
+		}
 	case hub != nil:
 		// Single-process primary with standbys: feed after the apply, in
-		// commit order (feedMu — s.mu alone would let two committers'
+		// commit order (commitMu — s.mu alone would let two committers'
 		// post-unlock feeds invert).
-		s.feedMu.Lock()
-		sums, gen, _, err = durableApply(batch)
+		s.commitMu.Lock()
+		err = durableApply(batch)
 		if err == nil {
 			hub.Feed(seq, preGen, gen, batch)
 		}
-		s.feedMu.Unlock()
+		s.commitMu.Unlock()
 	default:
-		sums, gen, _, err = durableApply(batch)
+		s.commitMu.Lock()
+		err = durableApply(batch)
+		s.commitMu.Unlock()
 	}
 	if err != nil {
 		if !errors.Is(err, incgraph.ErrBadUpdate) {
 			s.commitErrs.Add(1)
 			log.Printf("commit failed: %v", err)
 		}
-		return reply("err commit: %v", err)
+		return false, reply("err commit: %v", err)
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "ok applied %d gen=%d", len(batch), gen)
 	for i, m := range s.d.Engines() {
 		fmt.Fprintf(&sb, " %s=%s", m.Class(), sums[i])
 	}
-	return reply("%s", sb.String())
+	return false, reply("%s", sb.String())
 }
 
 // read serves "query" (cardinality) and "answer" (full canonical dump).
-// The read lock covers only the in-memory render — never the socket
-// writes, so a stalled client can't hold the lock and wedge commits (and,
-// through the RWMutex writer queue, every other reader).
-func (s *server) read(cmd, class string, out *bufio.Writer, reply func(string, ...any) bool) bool {
+// The read gate and the read lock cover only the in-memory render — never
+// the socket writes, so a stalled client can't hold a slot or the lock
+// and wedge commits (and, through the RWMutex writer queue, every other
+// reader).
+func (s *server) read(cmd, class string, conn net.Conn, out *bufio.Writer, reply func(string, ...any) bool) bool {
 	// Replica-read gate: a standby serves reads while its feed is live
 	// (the replica is provably current) and keeps serving from the last
 	// durable generation when the primary is gone — but a replica that
@@ -388,6 +560,9 @@ func (s *server) read(cmd, class string, out *bufio.Writer, reply func(string, .
 	if !ok {
 		return reply("err no standing query for class %q", class)
 	}
+	if s.readGate.enter() != nil {
+		return reply("err overloaded: read queue full; retry in %dms", retryHintMS)
+	}
 	s.mu.RLock()
 	size := m.Size()
 	var dump bytes.Buffer
@@ -396,6 +571,7 @@ func (s *server) read(cmd, class string, out *bufio.Writer, reply func(string, .
 		err = m.WriteAnswer(&dump)
 	}
 	s.mu.RUnlock()
+	s.readGate.exit()
 	if err != nil {
 		return reply("err answer %s: %v", class, err)
 	}
@@ -404,6 +580,12 @@ func (s *server) read(cmd, class string, out *bufio.Writer, reply func(string, .
 	}
 	if cmd == "query" {
 		return true
+	}
+	// The dump can be many buffer-fulls; the whole drain runs under one
+	// write deadline so a stalled client is cut at the op timeout.
+	if s.lim.opTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.lim.opTimeout))
+		defer conn.SetWriteDeadline(time.Time{})
 	}
 	if _, err := out.Write(dump.Bytes()); err != nil {
 		return false
@@ -418,20 +600,32 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 		classes = append(classes, m.Class())
 	}
 	// Render under the read lock, write to the socket after (see read).
+	// Durable metadata comes from the mirror: the WAL mutates under
+	// commitMu, not mu, so the store itself must not be read here.
 	s.mu.RLock()
 	g := s.d.Graph()
 	role, cl, hub := s.role, s.cl, s.hub
 	line := fmt.Sprintf("ok role=%s nodes=%d edges=%d gen=%d shards=%d epoch=%d walseq=%d walbytes=%d classes=%s",
 		role, g.NumNodes(), g.NumEdges(), g.Generation(), g.NumShards(),
-		s.d.Epoch(), s.d.WALSeq(), s.d.WALBytes(), strings.Join(classes, ","))
+		s.epoch.Load(), s.walSeq.Load(), s.walBytes.Load(), strings.Join(classes, ","))
 	s.mu.RUnlock()
 	// Error counters: what the accept-loop and commit-path logs saw, as
 	// machine-readable fields (the crash drill asserts their presence).
 	line += fmt.Sprintf(" accept_errs=%d commit_errs=%d", s.acceptErrs.Load(), s.commitErrs.Load())
+	// Overload counters: every shed, refused stage, oversized line and
+	// deadline drop, so graceful degradation is observable, not silent.
+	line += fmt.Sprintf(" conns=%d conns_shed=%d staged_shed=%d lines_too_long=%d idle_drops=%d",
+		s.nconns.Load(), s.connsShed.Load(), s.stagedShed.Load(),
+		s.linesTooLong.Load(), s.idleDrops.Load())
+	ca, cs, ct := s.commitGate.stats()
+	ra, rs, rt := s.readGate.stats()
+	line += fmt.Sprintf(" commit_admitted=%d commit_shed=%d commit_timeouts=%d commit_cluster_shed=%d read_admitted=%d read_shed=%d read_timeouts=%d",
+		ca, cs, ct, s.clusterShed.Load(), ra, rs, rt)
 	if cl != nil {
+		sts, age := s.cachedClusterStats(cl)
 		up, retries := 0, uint64(0)
 		var replicated, gaps uint64
-		for _, st := range cl.Stats() {
+		for _, st := range sts {
 			if !st.Down {
 				up++
 			}
@@ -439,8 +633,8 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 			replicated += st.Remote.Replicated
 			gaps += st.Remote.ReplGaps
 		}
-		line += fmt.Sprintf(" cluster_workers=%d/%d cluster_applied=%d cluster_remote_errs=%d cluster_resyncs=%d cluster_retries=%d cluster_term=%d",
-			up, cl.NumWorkers(), cl.Applied(), cl.RemoteErrors(), cl.Resyncs(), retries, cl.Term())
+		line += fmt.Sprintf(" cluster_workers=%d/%d cluster_applied=%d cluster_remote_errs=%d cluster_resyncs=%d cluster_retries=%d cluster_term=%d stat_age_ms=%d",
+			up, cl.NumWorkers(), cl.Applied(), cl.RemoteErrors(), cl.Resyncs(), retries, cl.Term(), age.Milliseconds())
 		line += fmt.Sprintf(" repl=%s repl_seq=%d repl_shipped=%d repl_degraded=%d repl_replicated=%d repl_gaps=%d",
 			s.repl, cl.ReplSeq(), cl.ReplShipped(), cl.ReplDegraded(), replicated, gaps)
 	}
@@ -454,13 +648,54 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 	return reply("%s", line)
 }
 
+// cachedClusterStats answers stat's worker section from a bounded-
+// staleness cache: polls run at most once per statTTL, in parallel across
+// workers with statPollTimeout each, and in the background once a first
+// result exists — so "stat" stays cheap and bounded even while a worker
+// is dead or stalled (exactly when operators run it in a tight loop).
+func (s *server) cachedClusterStats(cl *incgraph.Cluster) ([]incgraph.ClusterStat, time.Duration) {
+	s.statMu.Lock()
+	if s.statCache != nil && time.Since(s.statAt) < statTTL {
+		st, age := s.statCache, time.Since(s.statAt)
+		s.statMu.Unlock()
+		return st, age
+	}
+	if s.statBusy {
+		// A refresh is already in flight; serve the stale cache rather
+		// than stack a second poll (or a wait) on top of it.
+		st, age := s.statCache, time.Since(s.statAt)
+		s.statMu.Unlock()
+		return st, age
+	}
+	s.statBusy = true
+	first := s.statCache == nil
+	s.statMu.Unlock()
+	refresh := func() []incgraph.ClusterStat {
+		st := cl.StatsWithin(statPollTimeout)
+		s.statMu.Lock()
+		s.statCache, s.statAt, s.statBusy = st, time.Now(), false
+		s.statMu.Unlock()
+		return st
+	}
+	if first {
+		// No result yet: poll synchronously — still bounded by the poll
+		// timeout — so the very first stat is not empty.
+		return refresh(), 0
+	}
+	go refresh()
+	s.statMu.Lock()
+	st, age := s.statCache, time.Since(s.statAt)
+	s.statMu.Unlock()
+	return st, age
+}
+
 // health is the cheap liveness probe: one line of role and position, no
 // worker polling (stat's per-worker poll can take seconds during an
 // incident, exactly when probes must not).
 func (s *server) health(reply func(string, ...any) bool) bool {
 	s.mu.RLock()
 	role, cl, hub := s.role, s.cl, s.hub
-	gen, walSeq := s.d.Generation(), s.d.WALSeq()
+	gen, walSeq := s.d.Generation(), s.walSeq.Load()
 	s.mu.RUnlock()
 	line := fmt.Sprintf("ok role=%s gen=%d walseq=%d", role, gen, walSeq)
 	if cl != nil {
@@ -482,6 +717,10 @@ func (s *server) health(reply func(string, ...any) bool) bool {
 // Reads block for the attach (it ships shard segments); promotion is a
 // failover moment, not a steady-state operation.
 func (s *server) promote(reply func(string, ...any) bool) bool {
+	// commitMu first: a feed apply holds it for its whole body, so once we
+	// have it no fed batch can slip in after the role check below.
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.mu.Lock()
 	if s.role != roleStandby {
 		s.mu.Unlock()

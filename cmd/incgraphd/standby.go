@@ -49,6 +49,7 @@ func runStandby(args []string) error {
 		cluster   = fs.String("cluster", "", "comma-separated shard-worker addresses a promote attaches at term+1")
 		repl      = fs.String("repl", "quorum", "log-shipping policy after promote: off|async|quorum")
 	)
+	lim := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,7 +106,7 @@ func runStandby(args []string) error {
 				return err
 			}
 			d.Graph().SetParallelism(*workers)
-			srv = newServer(d, nil, *ckptBytes)
+			srv = newServer(d, nil, *ckptBytes, *lim)
 			srv.role = roleStandby
 			srv.primaryAddr = *primary
 			srv.workerAddrs = splitAddrs(*cluster)
@@ -118,18 +119,33 @@ func runStandby(args []string) error {
 			return nil
 		},
 		Apply: func(seq, postGen uint64, b incgraph.Batch) error {
-			srv.mu.Lock()
-			defer srv.mu.Unlock()
-			if srv.role != roleStandby {
+			// commitMu orders the feed against the checkpoint verb and a
+			// racing promote (which also takes it), and keeps the WAL fsync
+			// outside the read lock so replica reads never stall on disk.
+			srv.commitMu.Lock()
+			defer srv.commitMu.Unlock()
+			srv.mu.RLock()
+			promoted := srv.role != roleStandby
+			srv.mu.RUnlock()
+			if promoted {
 				// Promoted between the hub's push and this apply: the
 				// replica is authoritative now, the old feed is history.
 				return fmt.Errorf("promoted; feed rejected")
 			}
-			if _, err := srv.d.Apply(b); err != nil {
+			if err := srv.d.Log(b); err != nil {
+				srv.syncDurableMeta()
 				return err
 			}
-			if g := srv.d.Generation(); g != postGen {
-				return fmt.Errorf("replica at gen %d, primary said %d", g, postGen)
+			srv.mu.Lock()
+			_, err := srv.d.ApplyLogged(b)
+			gen := srv.d.Generation()
+			srv.mu.Unlock()
+			srv.syncDurableMeta()
+			if err != nil {
+				return err
+			}
+			if gen != postGen {
+				return fmt.Errorf("replica at gen %d, primary said %d", gen, postGen)
 			}
 			return nil
 		},

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Scenario describes one load shape. Scenarios live as YAML files — the
+// six built-ins are embedded below, and -scenario also accepts a path to
+// a user-written file (same schema, see scenarios/README within each
+// file's comments).
+type Scenario struct {
+	Name        string
+	Description string
+
+	Clients  int           // concurrent worker connections
+	Duration time.Duration // measured run length (after warmup)
+	Warmup   time.Duration // unrecorded ramp-up
+	Batch    int           // updates per commit op
+	Hotspot  float64       // fraction of inserts aimed at shared hot keys
+	Mix      map[string]int
+	// SlowClients additionally connect byte-at-a-time clients that never
+	// complete a line; ExpectCutWithin > 0 makes -check require the server
+	// to cut each of them within that budget.
+	SlowClients     int
+	ExpectCutWithin time.Duration
+
+	// Spike, when Multiplier > 0, joins Clients*Multiplier extra clients
+	// during [At, At+Duration) — the overload phase the degradation
+	// contract is asserted over.
+	Spike struct {
+		At         time.Duration
+		Duration   time.Duration
+		Multiplier int
+	}
+
+	// Check bounds for -check; zero values disable the individual checks.
+	Check struct {
+		P99Max              time.Duration // p99 of admitted ops, any phase
+		MinSpikeTputFrac    float64       // spike throughput / steady throughput
+		MaxErrs             int           // non-shed op errors tolerated
+		RequireShedsInSpike bool          // a real overload must shed explicitly
+	}
+}
+
+//go:embed scenarios/*.yaml
+var scenarioFS embed.FS
+
+// builtinScenarios lists the embedded scenario names.
+func builtinScenarios() []string {
+	entries, _ := scenarioFS.ReadDir("scenarios")
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".yaml"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// loadScenario resolves name as a built-in first, then as a file path.
+func loadScenario(name string) (*Scenario, error) {
+	data, err := scenarioFS.ReadFile(path.Join("scenarios", name+".yaml"))
+	if err != nil {
+		data, err = os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: not a built-in (%s) and not a readable file",
+				name, strings.Join(builtinScenarios(), ", "))
+		}
+	}
+	return parseScenario(data)
+}
+
+func parseScenario(data []byte) (*Scenario, error) {
+	doc, err := parseYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{Batch: 8, Mix: map[string]int{}}
+	sc.Check.P99Max = 2 * time.Second
+	sc.Check.MinSpikeTputFrac = 0.5
+	for key, v := range doc {
+		switch key {
+		case "name":
+			sc.Name = v.(string)
+		case "description":
+			sc.Description = v.(string)
+		case "clients":
+			if sc.Clients, err = yamlInt(key, v); err != nil {
+				return nil, err
+			}
+		case "duration":
+			if sc.Duration, err = yamlDur(key, v); err != nil {
+				return nil, err
+			}
+		case "warmup":
+			if sc.Warmup, err = yamlDur(key, v); err != nil {
+				return nil, err
+			}
+		case "batch":
+			if sc.Batch, err = yamlInt(key, v); err != nil {
+				return nil, err
+			}
+		case "hotspot":
+			if sc.Hotspot, err = yamlFloat(key, v); err != nil {
+				return nil, err
+			}
+		case "slow_clients":
+			if sc.SlowClients, err = yamlInt(key, v); err != nil {
+				return nil, err
+			}
+		case "expect_cut_within":
+			if sc.ExpectCutWithin, err = yamlDur(key, v); err != nil {
+				return nil, err
+			}
+		case "mix":
+			m, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("mix: want a map of op weights")
+			}
+			for op, w := range m {
+				switch op {
+				case "query", "answer", "commit":
+				default:
+					return nil, fmt.Errorf("mix: unknown op %q (want query|answer|commit)", op)
+				}
+				if sc.Mix[op], err = yamlInt("mix."+op, w); err != nil {
+					return nil, err
+				}
+			}
+		case "spike":
+			m, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("spike: want a map")
+			}
+			for k, sv := range m {
+				switch k {
+				case "at":
+					if sc.Spike.At, err = yamlDur("spike.at", sv); err != nil {
+						return nil, err
+					}
+				case "duration":
+					if sc.Spike.Duration, err = yamlDur("spike.duration", sv); err != nil {
+						return nil, err
+					}
+				case "multiplier":
+					if sc.Spike.Multiplier, err = yamlInt("spike.multiplier", sv); err != nil {
+						return nil, err
+					}
+				default:
+					return nil, fmt.Errorf("spike: unknown key %q", k)
+				}
+			}
+		case "check":
+			m, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("check: want a map")
+			}
+			for k, cv := range m {
+				switch k {
+				case "p99_max":
+					if sc.Check.P99Max, err = yamlDur("check.p99_max", cv); err != nil {
+						return nil, err
+					}
+				case "min_spike_throughput_frac":
+					if sc.Check.MinSpikeTputFrac, err = yamlFloat("check.min_spike_throughput_frac", cv); err != nil {
+						return nil, err
+					}
+				case "max_errs":
+					if sc.Check.MaxErrs, err = yamlInt("check.max_errs", cv); err != nil {
+						return nil, err
+					}
+				case "require_sheds_in_spike":
+					b, err := strconv.ParseBool(cv.(string))
+					if err != nil {
+						return nil, fmt.Errorf("check.require_sheds_in_spike: %v", err)
+					}
+					sc.Check.RequireShedsInSpike = b
+				default:
+					return nil, fmt.Errorf("check: unknown key %q", k)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("scenario: unknown key %q", key)
+		}
+	}
+	if sc.Name == "" {
+		return nil, fmt.Errorf("scenario: name is required")
+	}
+	if sc.Clients <= 0 && sc.SlowClients <= 0 {
+		return nil, fmt.Errorf("scenario %s: clients (or slow_clients) must be positive", sc.Name)
+	}
+	if sc.Duration <= 0 {
+		return nil, fmt.Errorf("scenario %s: duration must be positive", sc.Name)
+	}
+	if len(sc.Mix) == 0 && sc.Clients > 0 {
+		return nil, fmt.Errorf("scenario %s: mix must name at least one op weight", sc.Name)
+	}
+	if sc.Spike.Multiplier > 0 && sc.Spike.At+sc.Spike.Duration > sc.Duration {
+		return nil, fmt.Errorf("scenario %s: spike window ends after the run", sc.Name)
+	}
+	return sc, nil
+}
+
+func yamlInt(key string, v any) (int, error) {
+	s, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("%s: want a number", key)
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return n, nil
+}
+
+func yamlFloat(key string, v any) (float64, error) {
+	s, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("%s: want a number", key)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return f, nil
+}
+
+func yamlDur(key string, v any) (time.Duration, error) {
+	s, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("%s: want a duration", key)
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return d, nil
+}
+
+// parseYAML decodes the small YAML subset scenarios use — scalar values,
+// nested maps by 2-space indentation, and "#" comments — into nested
+// map[string]any with string leaves. Hand-rolled because the module is
+// dependency-free by policy; anything fancier (lists, anchors, multiline
+// strings) is rejected loudly rather than misparsed.
+func parseYAML(data []byte) (map[string]any, error) {
+	type frame struct {
+		indent int
+		m      map[string]any
+	}
+	root := map[string]any{}
+	stack := []frame{{0, root}}
+	var lastKey string
+	var lastIndent int
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("yaml line %d: odd indentation", ln+1)
+		}
+		if strings.HasPrefix(strings.TrimSpace(line), "- ") {
+			return nil, fmt.Errorf("yaml line %d: lists are not supported by this subset", ln+1)
+		}
+		key, val, ok := strings.Cut(strings.TrimSpace(line), ":")
+		if !ok {
+			return nil, fmt.Errorf("yaml line %d: want 'key: value' or 'key:'", ln+1)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		val = strings.Trim(val, `"'`)
+
+		// Descend into a nested map opened by the previous "key:" line.
+		if indent > stack[len(stack)-1].indent {
+			if indent != lastIndent+2 || lastKey == "" {
+				return nil, fmt.Errorf("yaml line %d: unexpected indentation", ln+1)
+			}
+			child := map[string]any{}
+			stack[len(stack)-1].m[lastKey] = child
+			stack = append(stack, frame{indent, child})
+		}
+		for indent < stack[len(stack)-1].indent {
+			stack = stack[:len(stack)-1]
+		}
+		if indent != stack[len(stack)-1].indent {
+			return nil, fmt.Errorf("yaml line %d: indentation matches no open block", ln+1)
+		}
+		top := stack[len(stack)-1].m
+		if _, dup := top[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", ln+1, key)
+		}
+		if val != "" {
+			top[key] = val
+		} else {
+			top[key] = map[string]any{} // may be replaced by a child block
+		}
+		lastKey, lastIndent = key, indent
+	}
+	return root, nil
+}

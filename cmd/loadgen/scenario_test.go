@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseYAMLNestingAndComments(t *testing.T) {
+	doc, err := parseYAML([]byte(`
+# a comment
+name: demo          # trailing comment
+clients: 4
+mix:
+  query: 70
+  commit: 30
+spike:
+  at: 1s
+  multiplier: "2"
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["name"] != "demo" || doc["clients"] != "4" {
+		t.Fatalf("scalars misparsed: %v", doc)
+	}
+	mix, ok := doc["mix"].(map[string]any)
+	if !ok || mix["query"] != "70" || mix["commit"] != "30" {
+		t.Fatalf("nested map misparsed: %v", doc["mix"])
+	}
+	spike := doc["spike"].(map[string]any)
+	if spike["multiplier"] != "2" {
+		t.Fatalf("quoted scalar misparsed: %v", spike)
+	}
+}
+
+func TestParseYAMLRejectsUnsupportedConstructs(t *testing.T) {
+	cases := map[string]string{
+		"list":       "items:\n  - a\n",
+		"odd indent": "a:\n   b: 1\n",
+		"no colon":   "just a line\n",
+		"dup key":    "a: 1\na: 2\n",
+		"bad nest":   "a: 1\n    b: 2\n",
+	}
+	for name, in := range cases {
+		if _, err := parseYAML([]byte(in)); err == nil {
+			t.Errorf("%s: parsed without error, want loud rejection", name)
+		}
+	}
+}
+
+func TestParseScenarioValidation(t *testing.T) {
+	cases := map[string]string{
+		"missing name":     "clients: 2\nduration: 1s\nmix:\n  query: 1\n",
+		"no clients":       "name: x\nduration: 1s\nmix:\n  query: 1\n",
+		"no duration":      "name: x\nclients: 2\nmix:\n  query: 1\n",
+		"no mix":           "name: x\nclients: 2\nduration: 1s\n",
+		"unknown op":       "name: x\nclients: 2\nduration: 1s\nmix:\n  frobnicate: 1\n",
+		"unknown key":      "name: x\nclients: 2\nduration: 1s\nmix:\n  query: 1\nbogus: 7\n",
+		"spike past end":   "name: x\nclients: 2\nduration: 1s\nmix:\n  query: 1\nspike:\n  at: 900ms\n  duration: 500ms\n  multiplier: 2\n",
+		"non-numeric int":  "name: x\nclients: two\nduration: 1s\nmix:\n  query: 1\n",
+		"non-duration dur": "name: x\nclients: 2\nduration: soon\nmix:\n  query: 1\n",
+	}
+	for name, in := range cases {
+		if _, err := parseScenario([]byte(in)); err == nil {
+			t.Errorf("%s: validated without error", name)
+		}
+	}
+	sc, err := parseScenario([]byte("name: ok\nclients: 2\nduration: 1s\nmix:\n  query: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Batch != 8 || sc.Check.P99Max != 2*time.Second {
+		t.Fatalf("defaults not applied: %+v", sc)
+	}
+}
+
+// Every embedded scenario must load; they are the CLI's public surface.
+func TestBuiltinScenariosLoad(t *testing.T) {
+	names := builtinScenarios()
+	if len(names) != 6 {
+		t.Fatalf("want 6 built-in scenarios, have %v", names)
+	}
+	for _, name := range names {
+		sc, err := loadScenario(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if sc.Name != name {
+			t.Errorf("file %s declares name %q", name, sc.Name)
+		}
+		if sc.Description == "" {
+			t.Errorf("%s: no description", name)
+		}
+	}
+	if _, err := loadScenario("no-such-scenario"); err == nil ||
+		!strings.Contains(err.Error(), "not a built-in") {
+		t.Fatalf("unknown scenario: err = %v, want the built-in listing", err)
+	}
+}

@@ -210,6 +210,41 @@
 // counters, and the fencing term alongside the accept/commit error
 // counters; "health" is the cheap role/liveness probe.
 //
+// # Overload and admission control
+//
+// The HA layer bounds what failure can do; the admission layer bounds
+// what load can do. The serving daemon promises the same kind of
+// monotonic degradation matrix under overload that the replica tier
+// promises under process loss:
+//
+//   - A healthy daemon under nominal load answers everything; overload
+//     protection is invisible (the gates' slots outnumber the load).
+//   - Under a commit storm, commits queue up to a bounded depth and then
+//     shed with an explicit "err overloaded ...; retry" reply — admitted
+//     throughput plateaus at the gate's capacity instead of collapsing,
+//     the p99 of admitted ops stays bounded by the per-op budget, and a
+//     shed commit keeps its staged batch so the retry is one line.
+//     Reads keep answering from the maintained engines the whole time:
+//     the WAL fsync and checkpoint I/O happen outside the graph lock, so
+//     a slow disk backs up writers (who shed at the gate), never readers.
+//   - Under a read storm the read gate sheds the excess the same way;
+//     commits proceed unimpeded on their own gate.
+//   - Slow, idle, and oversized-line clients are cut on per-connection
+//     deadlines — a byte-at-a-time trickle is cut exactly like an idle
+//     connection, an over-limit line gets "err line too long" before the
+//     close — and past -max-conns new connections are shed at accept.
+//     A misbehaving client never degrades a healthy one.
+//   - Nothing is silent: every shed, queue timeout, idle cut, oversized
+//     line, and refused connection is a counter in "stat".
+//
+// Admitted is admitted: whatever was acked under the storm is exactly
+// what the graph holds after it — byte-identical to a serial replay of
+// the acked commits, the same currency crash recovery is held to.
+// cmd/loadgen replays YAML-described scenarios (read-heavy, ingest-heavy,
+// mixed, hot-key skew, slow clients, a 2x overload spike) against any of
+// the daemon's modes and asserts exactly this contract plus latency
+// bounds; CI runs a scaled-down mixed scenario every push.
+//
 // The facade in this package re-exports the library's types and
 // constructors; the implementations live in internal packages:
 //

@@ -152,15 +152,41 @@ func (d *Durable) applyAll(b Batch) error {
 // summaries in attach order. Validation happens before the append, so a
 // logged batch is always replayable and a rejected batch changes nothing.
 func (d *Durable) Apply(b Batch) ([]DeltaSummary, error) {
-	if !d.replayed {
-		return nil, fmt.Errorf("incgraph: Apply before Recover: WAL replay pending")
-	}
-	if err := d.base.ValidateBatch(b); err != nil {
+	if err := d.Log(b); err != nil {
 		return nil, err
 	}
-	if err := d.st.Append(b, d.base.Generation()); err != nil {
-		return nil, fmt.Errorf("incgraph: WAL append: %w", err)
+	return d.ApplyLogged(b)
+}
+
+// Log is the first half of Apply: validate b and append it to the
+// write-ahead log (fsynced per the SyncPolicy) without applying it. It
+// exists so a serving layer can keep the disk wait outside its
+// read-exclusion window — Log while readers proceed, then ApplyLogged
+// under the exclusive lock — and a stalled fsync backs up writers, never
+// readers. The caller must serialize Log/ApplyLogged pairs against each
+// other and against Apply and Checkpoint (a second Log before the first
+// batch's ApplyLogged would validate against — and log — the wrong base
+// state); readers may run concurrently with Log, since it only reads the
+// graph. A crash between Log and ApplyLogged is safe: recovery replays
+// the logged batch exactly as if the crash had hit mid-Apply.
+func (d *Durable) Log(b Batch) error {
+	if !d.replayed {
+		return fmt.Errorf("incgraph: Apply before Recover: WAL replay pending")
 	}
+	if err := d.base.ValidateBatch(b); err != nil {
+		return err
+	}
+	if err := d.st.Append(b, d.base.Generation()); err != nil {
+		return fmt.Errorf("incgraph: WAL append: %w", err)
+	}
+	return nil
+}
+
+// ApplyLogged is the second half of Apply: apply a batch Log just
+// appended to the base graph and every attached engine, returning the
+// per-engine summaries in attach order. See Log for the serialization
+// contract.
+func (d *Durable) ApplyLogged(b Batch) ([]DeltaSummary, error) {
 	if err := d.base.ApplyBatch(b); err != nil {
 		// Unreachable after validation; surface loudly if it ever happens.
 		return nil, fmt.Errorf("incgraph: validated batch failed to apply: %w", err)

@@ -111,20 +111,32 @@ func (l *workerLink) deadline(reqBytes int) time.Time {
 // request performs one round trip, marking the link down on transport
 // failure (remote errors leave the session usable).
 func (l *workerLink) request(req []byte) (*reader, error) {
-	return l.requestHint(req, 0)
+	return l.requestCapped(req, 0, time.Time{})
 }
 
 // requestHint is request with a response-size hint: exports return whole
 // parcels, so their deadline must scale with the expected response the
 // way a placement's scales with its request.
 func (l *workerLink) requestHint(req []byte, respHint int) (*reader, error) {
+	return l.requestCapped(req, respHint, time.Time{})
+}
+
+// requestCapped is requestHint with an absolute deadline cap: when the
+// caller carries a per-op budget (Apply under admission control), the
+// round trip must not outlive it, however large the link's size-scaled
+// deadline would be. A zero cap means no cap.
+func (l *workerLink) requestCapped(req []byte, respHint int, capAt time.Time) (*reader, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	conn, err := l.session()
 	if err != nil {
 		return nil, err
 	}
-	conn.SetDeadline(l.deadline(len(req) + respHint))
+	dl := l.deadline(len(req) + respHint)
+	if !capAt.IsZero() && capAt.Before(dl) {
+		dl = capAt
+	}
+	conn.SetDeadline(dl)
 	r, err := roundTrip(conn, req)
 	conn.SetDeadline(time.Time{})
 	if err != nil && !IsRemote(err) {
@@ -359,9 +371,35 @@ func (c *Coordinator) ReplSeq() uint64 {
 	return c.replSeq
 }
 
+// ErrOverloaded reports an Apply whose per-op deadline expired while
+// waiting for its shards: the batch was shed before any remote work, the
+// authoritative graph and every replica are untouched, and the client
+// can safely retry. Serving layers map it to their explicit
+// overload/backpressure reply instead of queuing unboundedly.
+var ErrOverloaded = fmt.Errorf("cluster: overloaded: shard admission deadline exceeded")
+
 // acquire blocks until every shard in touched is free, then marks them
 // busy. touched must be sorted and duplicate-free (TouchedShards is).
 func (c *Coordinator) acquire(touched []int) {
+	c.acquireDeadline(touched, time.Time{})
+}
+
+// acquireDeadline is acquire with a give-up point: it reports whether the
+// shards were acquired before deadline (zero = wait forever). On timeout
+// nothing is held.
+func (c *Coordinator) acquireDeadline(touched []int, deadline time.Time) bool {
+	var wake *time.Timer
+	if !deadline.IsZero() {
+		// sync.Cond has no timed wait; a broadcast at the deadline bounds it.
+		// Broadcasting under the lock orders it after the waiter enters Wait,
+		// so the wakeup cannot slip between the deadline check and the sleep.
+		wake = time.AfterFunc(time.Until(deadline), func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer wake.Stop()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -375,11 +413,15 @@ func (c *Coordinator) acquire(touched []int) {
 		if free {
 			break
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return false
+		}
 		c.cond.Wait()
 	}
 	for _, s := range touched {
 		c.busy[s] = true
 	}
+	return true
 }
 
 // release frees the shards and wakes waiting batches.
@@ -544,8 +586,23 @@ func (c *Coordinator) prepareShards(touched []int) error {
 // planned to touch is marked for re-placement (workers that applied the
 // aborted effects are resynced before those shards are used again).
 func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error {
+	return c.ApplyDeadline(b, time.Time{}, commit)
+}
+
+// ApplyDeadline is Apply carrying the serving layer's per-op budget. The
+// deadline bounds the shard-admission wait — a batch still queued behind
+// conflicting batches at the deadline is shed with ErrOverloaded, nothing
+// applied anywhere, safe to retry — and caps every phase-1 round trip, so
+// one op cannot hold its shards for the transport's full size-scaled
+// deadline when the client's budget is smaller. Repair traffic (redial,
+// parcel resync) keeps its own deadlines: healing a diverged replica is
+// not the client op's work to bound, and capping it would just make the
+// next op repeat it. A zero deadline is plain Apply.
+func (c *Coordinator) ApplyDeadline(b graph.Batch, deadline time.Time, commit func(graph.Batch) error) error {
 	touched := b.TouchedShards(c.g)
-	c.acquire(touched)
+	if !c.acquireDeadline(touched, deadline) {
+		return ErrOverloaded
+	}
 	defer c.release(touched)
 
 	if err := c.prepareShards(touched); err != nil {
@@ -575,7 +632,15 @@ func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error
 	c.mu.Unlock()
 	sort.Ints(workerIDs)
 
-	// Phase 1: fan out in parallel, one request per involved worker.
+	// Past the admission wait but out of budget: shed before any remote
+	// work, while the abort is still free (no worker has applied anything,
+	// so no shard needs resync).
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return ErrOverloaded
+	}
+
+	// Phase 1: fan out in parallel, one request per involved worker, each
+	// round trip capped by the op's remaining budget.
 	deltas := make([]map[int]int, len(workerIDs))
 	errs := make([]error, len(workerIDs))
 	var wg sync.WaitGroup
@@ -583,7 +648,7 @@ func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error
 		wg.Add(1)
 		go func(i, w int) {
 			defer wg.Done()
-			r, err := c.workers[w].request(encodeApply(perWorker[w]))
+			r, err := c.workers[w].requestCapped(encodeApply(perWorker[w]), 0, deadline)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: phase 1 on %s: %w", c.workers[w].name, err)
 				return
@@ -771,6 +836,17 @@ const statTimeout = 5 * time.Second
 // Stats polls every worker (best-effort, short deadline, never queuing
 // behind an in-flight request) and returns per-worker stats.
 func (c *Coordinator) Stats() []Stat {
+	return c.StatsWithin(statTimeout)
+}
+
+// StatsWithin is Stats with an explicit per-worker poll deadline. Workers
+// are polled in parallel, so the whole call is bounded by one timeout —
+// not timeout × dead workers — which is what lets a serving layer answer
+// "stat" in bounded time during exactly the incidents stats exist for.
+func (c *Coordinator) StatsWithin(timeout time.Duration) []Stat {
+	if timeout <= 0 {
+		timeout = statTimeout
+	}
 	out := make([]Stat, len(c.workers))
 	c.mu.Lock()
 	assigned := make([]int, len(c.workers))
@@ -778,37 +854,43 @@ func (c *Coordinator) Stats() []Stat {
 		assigned[w]++
 	}
 	c.mu.Unlock()
+	var wg sync.WaitGroup
 	for i, l := range c.workers {
-		st := Stat{Name: l.name, Assigned: assigned[i]}
-		if l.retries != nil {
-			st.Retries = l.retries.Load()
-		}
-		if !l.mu.TryLock() {
-			st.Busy = true
-			out[i] = st
-			continue
-		}
-		conn, err := l.session()
-		if err != nil {
+		wg.Add(1)
+		go func(i int, l *workerLink) {
+			defer wg.Done()
+			st := Stat{Name: l.name, Assigned: assigned[i]}
+			if l.retries != nil {
+				st.Retries = l.retries.Load()
+			}
+			if !l.mu.TryLock() {
+				st.Busy = true
+				out[i] = st
+				return
+			}
+			conn, err := l.session()
+			if err != nil {
+				l.mu.Unlock()
+				st.Down = true
+				out[i] = st
+				return
+			}
+			conn.SetDeadline(time.Now().Add(timeout))
+			r, rerr := roundTrip(conn, []byte{byte(msgStat)})
+			conn.SetDeadline(time.Time{})
+			if rerr != nil && !IsRemote(rerr) {
+				l.fail(conn)
+			}
 			l.mu.Unlock()
-			st.Down = true
+			if rerr != nil {
+				st.Down = true
+			} else if remote, derr := decodeStat(r); derr == nil {
+				st.Remote = remote
+			}
 			out[i] = st
-			continue
-		}
-		conn.SetDeadline(time.Now().Add(statTimeout))
-		r, rerr := roundTrip(conn, []byte{byte(msgStat)})
-		conn.SetDeadline(time.Time{})
-		if rerr != nil && !IsRemote(rerr) {
-			l.fail(conn)
-		}
-		l.mu.Unlock()
-		if rerr != nil {
-			st.Down = true
-		} else if remote, derr := decodeStat(r); derr == nil {
-			st.Remote = remote
-		}
-		out[i] = st
+		}(i, l)
 	}
+	wg.Wait()
 	return out
 }
 
