@@ -27,6 +27,11 @@ type (
 	ClusterLink = cluster.Link
 	// ClusterStat is one worker's entry in Cluster.Stats.
 	ClusterStat = cluster.Stat
+	// ClusterScrubReport summarizes one anti-entropy pass (Cluster.Scrub).
+	ClusterScrubReport = cluster.ScrubReport
+	// ClusterScrubStats are the lifetime anti-entropy counters
+	// (Cluster.ScrubCounters).
+	ClusterScrubStats = cluster.ScrubStats
 )
 
 // ErrClusterOverloaded reports a Cluster.ApplyDeadline that was shed at

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"incgraph"
+)
+
+// parseDiskFault builds the seeded FaultFS the -disk-fault flag
+// describes. The grammar is "seed=N;RULE;RULE;...", each RULE a
+// comma-separated list of key=value pairs:
+//
+//	op=open|create|write|sync|truncate|rename|remove|syncdir
+//	path=SUBSTR      match against the normalized base name
+//	index=N          0-based Nth selector match (-1, the default: every)
+//	count=N          fire at most N times (0: unlimited)
+//	prob=F           fire with probability F from the seeded source
+//	keep=N           bytes landed before a partial-write kind fails
+//	kind=eio|enospc|short|torn|syncfail|synclie|crash|powerfail
+//
+// Example: "seed=7;op=sync,path=wal,count=3,kind=syncfail" fails the
+// next three WAL fsyncs. The seed pins rule order AND the prob draws, so
+// the same spec over the same traffic fires identically run to run.
+func parseDiskFault(spec string) (*incgraph.FaultFS, error) {
+	var seed int64
+	var rules []incgraph.FSRule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok && !strings.Contains(part, ",") {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-disk-fault: bad seed %q", v)
+			}
+			seed = n
+			continue
+		}
+		r := incgraph.FSRule{Index: -1}
+		for _, kv := range strings.Split(part, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("-disk-fault: want key=value, got %q", kv)
+			}
+			var err error
+			switch k {
+			case "op":
+				r.Op = v
+			case "path":
+				r.Path = v
+			case "index":
+				r.Index, err = strconv.Atoi(v)
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+			case "keep":
+				r.Keep, err = strconv.Atoi(v)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+			case "kind":
+				r.Kind, err = parseFaultKind(v)
+			default:
+				return nil, fmt.Errorf("-disk-fault: unknown key %q in %q", k, part)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("-disk-fault: bad %s=%q: %v", k, v, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("-disk-fault: no rules in %q", spec)
+	}
+	return incgraph.NewFaultFS(seed, rules...), nil
+}
+
+// parseFaultKind maps a -disk-fault kind name to its FaultKind.
+func parseFaultKind(name string) (incgraph.FaultKind, error) {
+	switch strings.ToLower(name) {
+	case "eio":
+		return incgraph.FaultEIO, nil
+	case "enospc":
+		return incgraph.FaultENOSPC, nil
+	case "short", "shortwrite":
+		return incgraph.FaultShortWrite, nil
+	case "torn", "tornwrite":
+		return incgraph.FaultTornWrite, nil
+	case "syncfail":
+		return incgraph.FaultSyncFail, nil
+	case "synclie":
+		return incgraph.FaultSyncLie, nil
+	case "crash":
+		return incgraph.FaultCrash, nil
+	case "powerfail":
+		return incgraph.FaultPowerFail, nil
+	}
+	return 0, fmt.Errorf("unknown kind (want eio|enospc|short|torn|syncfail|synclie|crash|powerfail)")
+}

@@ -17,6 +17,7 @@
 //	          [-checkpoint-bytes N]
 //	          [-cluster addr1,addr2 | -cluster-spawn N]
 //	          [-repl off|async|quorum] [-term N] [-hub :7423]
+//	          [-scrub-every D] [-disk-fault SPEC]
 //	          [-max-conns N] [-idle-timeout D] [-op-timeout D]
 //	          [-max-staged N] [-commit-inflight N] [-commit-queue N]
 //	          [-read-inflight N] [-read-queue N]
@@ -76,8 +77,10 @@
 //	query CLASS              answer cardinality for kws|rpq|scc|iso
 //	answer CLASS             full canonical answer, dot-terminated
 //	stat                     graph/WAL/engine/cluster/replication counters
-//	health                   cheap probe: role, term, tail state
+//	health                   cheap probe: role, term, tail, disk state
 //	promote                  standby only: take over as primary at term+1
+//	scrub                    cluster only: one anti-entropy pass, heal divergence
+//	move S W                 cluster only: re-place shard S onto worker W
 //	checkpoint               force a snapshot + fresh WAL
 //	quit                     close the connection
 //
@@ -98,6 +101,27 @@
 // oversized line and deadline drop is a counter in "stat". See the
 // package documentation's "Overload & admission control" section for the
 // degradation contract.
+//
+// # Disk degradation & anti-entropy
+//
+// A failing disk degrades the daemon the same way overload does:
+// explicitly. A failed WAL append is retried with capped backoff (the
+// WAL rolls back on failure, so nothing is acknowledged that is not
+// durable); a disk that keeps failing flips the daemon into advertised
+// read-only mode — commits shed with "err disk degraded; read-only"
+// while reads keep answering — and a background probe flips it back to
+// healthy the moment appends work again, with no restart. "stat" and
+// "health" expose disk=healthy|retrying|read-only plus retry and
+// transition counters. -disk-fault arms a seeded fault-injection layer
+// under the store (EIO, ENOSPC, torn writes, failed or lying fsync,
+// crash) for reproducible drills: same seed, same traffic, same faults.
+//
+// In cluster mode -scrub-every starts the anti-entropy scrubber: each
+// tick verifies one shard's worker replica byte-for-byte against the
+// coordinator-authoritative state (including the worker's on-disk
+// replica log) and re-places any shard that diverged — bit rot is found
+// and healed in the background, not on the next unlucky read. "scrub"
+// runs one full pass on demand; scrub_* counters appear in "stat".
 package main
 
 import (
@@ -149,6 +173,8 @@ func main() {
 		term         = flag.Uint64("term", 1, "coordinator fencing term (a promoted standby attaches at its primary's term+1)")
 		repl         = flag.String("repl", "off", "cluster log-shipping policy: off|async|quorum")
 		hubAddr      = flag.String("hub", "", "listen address for standby feed connections (HA primary)")
+		scrubEvery   = flag.Duration("scrub-every", 0, "background anti-entropy interval: verify one shard replica per tick (0 = off; cluster mode)")
+		diskFault    = flag.String("disk-fault", "", "seeded disk-fault injection spec for drills, e.g. \"seed=7;op=sync,path=wal,count=3,kind=syncfail\"")
 	)
 	lim := limitFlags(flag.CommandLine)
 	flag.Parse()
@@ -171,6 +197,8 @@ func main() {
 		term:         *term,
 		repl:         *repl,
 		hubAddr:      *hubAddr,
+		scrubEvery:   *scrubEvery,
+		diskFault:    *diskFault,
 		lim:          *lim,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "incgraphd: %v\n", err)
@@ -190,6 +218,8 @@ type config struct {
 	term                        uint64
 	repl                        string
 	hubAddr                     string
+	scrubEvery                  time.Duration
+	diskFault                   string
 	lim                         limits
 }
 
@@ -390,6 +420,19 @@ func run(cfg config) error {
 		return err
 	}
 	opts := incgraph.DurableOptions{Sync: sync}
+	// Disk-fault drills: route the store's write path (WAL, snapshots,
+	// MANIFEST rotation) through a seeded FaultFS. The injected failures
+	// exercise the degradation contract — retry, read-only, heal — while
+	// the event log keeps the drill reproducible.
+	var faultFS *incgraph.FaultFS
+	if cfg.diskFault != "" {
+		faultFS, err = parseDiskFault(cfg.diskFault)
+		if err != nil {
+			return err
+		}
+		opts.FS = faultFS
+		log.Printf("disk-fault injection armed: seed %d, %d rule(s)", faultFS.Seed, len(faultFS.Rules))
+	}
 
 	// Open-or-create the durable state.
 	var d *incgraph.Durable
@@ -524,6 +567,13 @@ func run(cfg config) error {
 		srv.cl = cl
 		log.Printf("cluster: %d shards placed across %d workers (term %d, repl %s)",
 			d.Graph().NumShards(), cl.NumWorkers(), cfg.term, repl)
+		if cfg.scrubEvery > 0 {
+			// Background anti-entropy: one shard replica verified (and
+			// healed if divergent) per tick, round-robin — the whole
+			// cluster is re-verified every shards×interval.
+			cl.StartScrubber(cfg.scrubEvery)
+			log.Printf("scrubber: verifying one shard replica every %v", cfg.scrubEvery)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

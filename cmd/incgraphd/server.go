@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -106,6 +107,25 @@ type server struct {
 	linesTooLong atomic.Uint64 // oversized protocol lines (replied, then cut)
 	idleDrops    atomic.Uint64 // connections cut by the per-line read deadline
 	clusterShed  atomic.Uint64 // commits shed by the cluster's shard-admission deadline
+
+	// Disk-degradation state (doc.go "Overload & admission control" has
+	// the matrix row). The commit path moves diskState healthy→retrying
+	// when a WAL append fails and retries with capped backoff; a
+	// persistently failing disk flips the daemon read-only — commits shed
+	// with "err disk degraded; read-only" while reads keep answering from
+	// the in-memory state — and a background probe flips it back to
+	// healthy the moment the append path works again. Retry and probe
+	// tuning are fields, not constants, so drills run in milliseconds.
+	diskState      atomic.Int32
+	diskRetries    atomic.Uint64 // WAL appends retried after a disk error
+	diskROEnters   atomic.Uint64 // transitions into read-only mode
+	diskROExits    atomic.Uint64 // probe-healed transitions back to healthy
+	diskShed       atomic.Uint64 // commits shed while read-only
+	diskProbing    atomic.Bool   // the probe goroutine exists (started lazily, once)
+	diskRetryMax   int           // WAL append attempts before going read-only
+	diskBackoff    time.Duration // first retry delay (doubles, capped)
+	diskProbeEvery time.Duration // read-only recovery probe interval
+	diskQuit       chan struct{} // closed at shutdown; stops the probe
 }
 
 // maxLineBytes caps one protocol line (the scanner buffer limit). A line
@@ -125,6 +145,32 @@ const (
 	rolePrimary = "primary"
 	roleStandby = "standby"
 )
+
+// Disk states, for the degradation contract above.
+const (
+	diskHealthy int32 = iota
+	diskRetrying
+	diskReadOnly
+)
+
+// diskBackoffCap bounds the doubling retry backoff of logWithRetry.
+const diskBackoffCap = 200 * time.Millisecond
+
+// errDiskDegraded marks a commit refused because the disk went
+// read-only: nothing was logged or applied, so the staged batch is kept
+// and the client may simply retry "commit".
+var errDiskDegraded = errors.New("disk degraded")
+
+func diskName(s int32) string {
+	switch s {
+	case diskRetrying:
+		return "retrying"
+	case diskReadOnly:
+		return "read-only"
+	default:
+		return "healthy"
+	}
+}
 
 // Standby tail states, for the read path's staleness gate.
 const (
@@ -156,7 +202,11 @@ func newServer(d *incgraph.Durable, cl *incgraph.Cluster, ckptBytes int64, lim l
 		lim:        lim,
 		commitGate: newGate(lim.commitSlots, lim.commitQueue, lim.opTimeout),
 		readGate:   newGate(lim.readSlots, lim.readQueue, lim.opTimeout),
-		role:       rolePrimary, conns: make(map[net.Conn]struct{})}
+		role:       rolePrimary, conns: make(map[net.Conn]struct{}),
+		diskRetryMax:   3,
+		diskBackoff:    5 * time.Millisecond,
+		diskProbeEvery: 250 * time.Millisecond,
+		diskQuit:       make(chan struct{})}
 	s.syncDurableMeta()
 	return s
 }
@@ -231,6 +281,9 @@ func (s *server) serve(addr string, stop <-chan struct{}) error {
 			select {
 			case <-done:
 				wg.Wait()
+				// The disk probe (not in wg) takes commitMu per tick; stop
+				// it before the WAL closes under it.
+				close(s.diskQuit)
 				// commitMu too: a standby's feed goroutine (not in wg) may
 				// be mid-apply; the WAL must not close under it.
 				s.commitMu.Lock()
@@ -380,6 +433,14 @@ func (s *server) handle(conn net.Conn) {
 			if !s.promote(reply) {
 				return
 			}
+		case "scrub":
+			if !s.scrub(reply) {
+				return
+			}
+		case "move":
+			if !s.move(fields, reply) {
+				return
+			}
 		case "checkpoint":
 			// commitMu, not mu: snapshot writing only reads the graph (no
 			// mutator runs without commitMu), so readers keep answering
@@ -452,6 +513,13 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 	if role == roleStandby {
 		return false, reply("err standby is read-only: promote to accept commits")
 	}
+	// Read-only disk mode sheds before admission: the batch stays staged
+	// (a bare "commit" retry works once the probe heals the disk) and the
+	// gate's slots stay free for the probe-driven recovery.
+	if s.diskState.Load() == diskReadOnly {
+		s.diskShed.Add(1)
+		return true, reply("err disk degraded; read-only: retry in %dms", retryHintMS)
+	}
 	if s.commitGate.enter() != nil {
 		return true, reply("err overloaded: commit queue full; retry in %dms", retryHintMS)
 	}
@@ -470,7 +538,7 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 	// in-memory apply is read-exclusive.
 	durableApply := func(b incgraph.Batch) error {
 		preGen = s.d.Generation()
-		if lerr := s.d.Log(b); lerr != nil {
+		if lerr := s.logWithRetry(b); lerr != nil {
 			s.syncDurableMeta()
 			return lerr
 		}
@@ -529,6 +597,14 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 		s.commitMu.Unlock()
 	}
 	if err != nil {
+		if errors.Is(err, errDiskDegraded) {
+			// The append retries were exhausted and the daemon just went
+			// read-only. Nothing was logged or applied, so this commit is a
+			// shed like the ones the read-only check above refuses: the
+			// batch stays staged and the same reply tells the client why.
+			s.diskShed.Add(1)
+			return true, reply("err disk degraded; read-only: retry in %dms", retryHintMS)
+		}
 		if !errors.Is(err, incgraph.ErrBadUpdate) {
 			s.commitErrs.Add(1)
 			log.Printf("commit failed: %v", err)
@@ -541,6 +617,95 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 		fmt.Fprintf(&sb, " %s=%s", m.Class(), sums[i])
 	}
 	return false, reply("%s", sb.String())
+}
+
+// logWithRetry is the WAL append under the disk-degradation contract:
+// a failed append is retried with capped exponential backoff (a wedged
+// WAL is first healed by a checkpoint, which starts a fresh log), and
+// exhausting the retries flips the daemon into read-only mode and
+// returns errDiskDegraded. Nothing is acknowledged unless the append
+// truly succeeded — the WAL itself rolls back seq and truncates on
+// failure, so "acked ⇒ durable" holds across every retry. The caller
+// holds commitMu; validation failures (ErrBadUpdate) are the client's
+// error and are never retried.
+func (s *server) logWithRetry(b incgraph.Batch) error {
+	err := s.d.Log(b)
+	if err == nil || errors.Is(err, incgraph.ErrBadUpdate) {
+		return err
+	}
+	backoff := s.diskBackoff
+	for attempt := 1; attempt < s.diskRetryMax; attempt++ {
+		s.diskState.CompareAndSwap(diskHealthy, diskRetrying)
+		s.diskRetries.Add(1)
+		log.Printf("WAL append failed (attempt %d/%d, retrying in %v): %v",
+			attempt, s.diskRetryMax, backoff, err)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > diskBackoffCap {
+			backoff = diskBackoffCap
+		}
+		if s.d.WALBroken() != nil {
+			// A mid-append failure wedges the WAL (its tail is suspect);
+			// only a checkpoint — snapshot plus fresh log — clears it.
+			// commitMu is held, so the checkpoint cannot race a commit.
+			if cerr := s.d.Checkpoint(); cerr != nil {
+				err = cerr
+				continue
+			}
+		}
+		if err = s.d.Log(b); err == nil || errors.Is(err, incgraph.ErrBadUpdate) {
+			s.diskState.CompareAndSwap(diskRetrying, diskHealthy)
+			return err
+		}
+	}
+	s.enterReadOnly(err)
+	return fmt.Errorf("%w: %v", errDiskDegraded, err)
+}
+
+// enterReadOnly flips the daemon into read-only mode and makes sure the
+// recovery probe is running. Reads keep answering from the in-memory
+// state (it is consistent: failed appends were rolled back, nothing
+// unacknowledged was applied); commits shed until the probe heals.
+func (s *server) enterReadOnly(cause error) {
+	s.diskState.Store(diskReadOnly)
+	s.diskROEnters.Add(1)
+	log.Printf("disk degraded; entering read-only mode: %v", cause)
+	if s.diskProbing.CompareAndSwap(false, true) {
+		go s.probeDisk()
+	}
+}
+
+// probeDisk is the read-only recovery loop: while the daemon is
+// read-only it exercises the WAL append path (checkpoint if the WAL is
+// wedged, fsync otherwise) once per diskProbeEvery, and the first
+// success flips the daemon back to healthy — recovery is automatic, no
+// restart and no operator action. The goroutine is started once, on the
+// first degradation, and idles between incidents until shutdown.
+func (s *server) probeDisk() {
+	t := time.NewTicker(s.diskProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.diskQuit:
+			return
+		case <-t.C:
+		}
+		if s.diskState.Load() != diskReadOnly {
+			continue
+		}
+		s.commitMu.Lock()
+		var err error
+		if s.d.WALBroken() != nil {
+			err = s.d.Checkpoint()
+		} else {
+			err = s.d.SyncWAL()
+		}
+		s.syncDurableMeta()
+		s.commitMu.Unlock()
+		if err == nil && s.diskState.CompareAndSwap(diskReadOnly, diskHealthy) {
+			s.diskROExits.Add(1)
+			log.Printf("disk recovered; leaving read-only mode")
+		}
+	}
 }
 
 // read serves "query" (cardinality) and "answer" (full canonical dump).
@@ -621,6 +786,15 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 	ra, rs, rt := s.readGate.stats()
 	line += fmt.Sprintf(" commit_admitted=%d commit_shed=%d commit_timeouts=%d commit_cluster_shed=%d read_admitted=%d read_shed=%d read_timeouts=%d",
 		ca, cs, ct, s.clusterShed.Load(), ra, rs, rt)
+	// Disk-degradation state and counters: every retried append and every
+	// read-only transition is observable, not just logged.
+	line += fmt.Sprintf(" disk=%s disk_retries=%d disk_ro_enters=%d disk_ro_exits=%d disk_shed=%d",
+		diskName(s.diskState.Load()), s.diskRetries.Load(),
+		s.diskROEnters.Load(), s.diskROExits.Load(), s.diskShed.Load())
+	// Process runtime gauges, for the load generator's soak sampler.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	line += fmt.Sprintf(" goroutines=%d heap_bytes=%d", runtime.NumGoroutine(), ms.HeapAlloc)
 	if cl != nil {
 		sts, age := s.cachedClusterStats(cl)
 		up, retries := 0, uint64(0)
@@ -637,6 +811,9 @@ func (s *server) stat(reply func(string, ...any) bool) bool {
 			up, cl.NumWorkers(), cl.Applied(), cl.RemoteErrors(), cl.Resyncs(), retries, cl.Term(), age.Milliseconds())
 		line += fmt.Sprintf(" repl=%s repl_seq=%d repl_shipped=%d repl_degraded=%d repl_replicated=%d repl_gaps=%d",
 			s.repl, cl.ReplSeq(), cl.ReplShipped(), cl.ReplDegraded(), replicated, gaps)
+		sc := cl.ScrubCounters()
+		line += fmt.Sprintf(" scrub_passes=%d scrub_checked=%d scrub_mismatches=%d scrub_heals=%d scrub_skips=%d",
+			sc.Passes, sc.Checked, sc.Mismatches, sc.Heals, sc.Skips)
 	}
 	if hub != nil {
 		line += fmt.Sprintf(" standbys=%d", hub.Standbys())
@@ -697,7 +874,8 @@ func (s *server) health(reply func(string, ...any) bool) bool {
 	role, cl, hub := s.role, s.cl, s.hub
 	gen, walSeq := s.d.Generation(), s.walSeq.Load()
 	s.mu.RUnlock()
-	line := fmt.Sprintf("ok role=%s gen=%d walseq=%d", role, gen, walSeq)
+	line := fmt.Sprintf("ok role=%s gen=%d walseq=%d disk=%s",
+		role, gen, walSeq, diskName(s.diskState.Load()))
 	if cl != nil {
 		line += fmt.Sprintf(" term=%d", cl.Term())
 	}
@@ -708,6 +886,47 @@ func (s *server) health(reply func(string, ...any) bool) bool {
 		line += fmt.Sprintf(" tail=%s tail_seq=%d", tailName(s.tail.Load()), s.standby.LastSeq())
 	}
 	return reply("%s", line)
+}
+
+// scrub runs one anti-entropy pass over every shard (cluster mode only):
+// each worker replica is verified byte-for-byte against the
+// coordinator-authoritative state — parcel bytes and the on-disk replica
+// log — and any divergent shard is re-placed from the authoritative
+// parcel. Busy shards are skipped, not waited for, so the pass is
+// bounded even under commit load.
+func (s *server) scrub(reply func(string, ...any) bool) bool {
+	cl := s.cluster()
+	if cl == nil {
+		return reply("err scrub: not in cluster mode")
+	}
+	rep, err := cl.Scrub()
+	if err != nil {
+		return reply("err scrub: %v", err)
+	}
+	return reply("ok scrub checked=%d skipped=%d mismatches=%d heals=%d",
+		rep.Checked, rep.Skipped, rep.Mismatches, rep.Heals)
+}
+
+// move re-places one shard onto another worker by shipping its snapshot
+// segment (cluster mode only) — the rebalance drills drive it under
+// live commit traffic.
+func (s *server) move(fields []string, reply func(string, ...any) bool) bool {
+	cl := s.cluster()
+	if cl == nil {
+		return reply("err move: not in cluster mode")
+	}
+	if len(fields) != 3 {
+		return reply("err usage: move SHARD WORKER")
+	}
+	shard, err1 := strconv.Atoi(fields[1])
+	w, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil {
+		return reply("err usage: move SHARD WORKER")
+	}
+	if err := cl.MoveShard(shard, w); err != nil {
+		return reply("err move: %v", err)
+	}
+	return reply("ok moved shard=%d worker=%d", shard, w)
 }
 
 // promote flips a standby into a primary: the replica's durable state

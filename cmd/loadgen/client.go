@@ -39,6 +39,7 @@ type admittedCommit struct {
 type worker struct {
 	id       int
 	sc       *Scenario
+	env      *runEnv
 	opBudget time.Duration
 	epoch    time.Time // measurement start (end of warmup)
 
@@ -49,10 +50,11 @@ type worker struct {
 	nextID int64             // private fresh-node allocator
 	own    []incgraph.Update // own committed inserts, eligible for delete
 
-	samples  []sample
-	admitted []admittedCommit
-	hangs    int
-	dead     bool // connection lost (shed at accept, cut, transport error)
+	samples    []sample
+	admitted   []admittedCommit
+	hangs      int
+	reconnects int  // fault-scenario redials after a transport error
+	dead       bool // connection lost (shed at accept, cut, transport error)
 }
 
 // Private node-ID ranges: each worker inserts edges between nodes only it
@@ -70,13 +72,13 @@ const (
 // daemon started with -scc can serve every built-in scenario.
 const answerClass = "scc"
 
-func newWorker(id int, addr string, sc *Scenario, opBudget time.Duration, epoch time.Time, seed int64) (*worker, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+func newWorker(id int, env *runEnv, sc *Scenario, seed int64) (*worker, error) {
+	conn, err := net.DialTimeout("tcp", env.book.get(), 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
 	w := &worker{
-		id: id, sc: sc, opBudget: opBudget, epoch: epoch,
+		id: id, sc: sc, env: env, opBudget: env.opBudget, epoch: env.epoch,
 		conn: conn, r: bufio.NewReader(conn),
 		rng:    rand.New(rand.NewSource(seed)),
 		nextID: idBase + int64(id)*idStride,
@@ -104,6 +106,16 @@ func (w *worker) run(stop <-chan struct{}) {
 			return
 		default:
 		}
+		// The failover driver pauses traffic while it drains the standby
+		// and switches the shared address; wait it out, then continue.
+		if w.env.paused.Load() {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			continue
+		}
 		pick := w.rng.Intn(total)
 		op := ops[len(ops)-1]
 		for i, we := range weights {
@@ -118,6 +130,21 @@ func (w *worker) run(stop <-chan struct{}) {
 		if err != nil {
 			if isHang(err) {
 				w.hangs++
+				s.err = true
+				w.samples = append(w.samples, s)
+				w.dead = true
+				return // a hang is a contract violation even mid-failover
+			}
+			if w.env.faulty {
+				// Fault scenarios kill the primary under us: a transport
+				// error is the drill working, not a violation. Drop the op
+				// (nothing was acked), redial the current address, go on.
+				w.reconnects++
+				if !w.reconnect(stop) {
+					w.dead = true
+					return
+				}
+				continue
 			}
 			s.err = true
 			w.samples = append(w.samples, s)
@@ -125,6 +152,45 @@ func (w *worker) run(stop <-chan struct{}) {
 			return // the connection state is unknown; stop rather than skew
 		}
 		w.samples = append(w.samples, s)
+		if w.env.soak != nil {
+			w.env.soak.record(s)
+		}
+		if w.sc.Think > 0 {
+			select {
+			case <-stop:
+				fmt.Fprintln(w.conn, "quit")
+				return
+			case <-time.After(w.sc.Think):
+			}
+		}
+	}
+}
+
+// reconnect redials the shared address (which the failover driver may
+// have just swapped to the promoted standby) with capped backoff until
+// it succeeds or the run stops.
+func (w *worker) reconnect(stop <-chan struct{}) bool {
+	w.conn.Close()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", w.env.book.get(), 2*time.Second)
+		if err == nil {
+			w.conn, w.r = conn, bufio.NewReader(conn)
+			return true
+		}
+		select {
+		case <-stop:
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
 	}
 }
 
@@ -151,7 +217,13 @@ func (w *worker) readReply(op string) (string, error) {
 	return strings.TrimSpace(line), nil
 }
 
-func isShed(reply string) bool { return strings.HasPrefix(reply, "err overloaded") }
+// isShed recognizes the daemon's explicit degradation replies: overload
+// shedding and disk-degraded read-only mode. Both keep a staged batch
+// and both mean "the contract held", never a failure.
+func isShed(reply string) bool {
+	return strings.HasPrefix(reply, "err overloaded") ||
+		strings.HasPrefix(reply, "err disk degraded")
+}
 
 // op runs one operation of the given class. It returns shed=true when the
 // daemon refused it with an explicit overload reply (the batch, if any,

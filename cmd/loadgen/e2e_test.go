@@ -71,7 +71,7 @@ check:
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := runScenario(addr, sc, 10*time.Second, true, t.Logf)
+	res, err := runScenario(addr, sc, runOpts{opBudget: 10 * time.Second, parity: true}, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,7 +35,13 @@ throughput and latency quantiles per op class and phase.
   -check             assert the scenario's degradation contract; exit 1 on violation
   -parity            byte-compare the post-storm graph with a serial replay of
                      the acked commits (daemon must start empty, loadgen must
-                     be its only writer)
+                     be its only writer; after a failover scenario the replay
+                     is checked against the promoted standby)
+  -failover-addr A   standby to promote when the scenario's fault is failover
+  -fault-exec CMD    shell command that kills the primary (failover scenarios)
+  -soak              emit one JSON line per sampling window to stdout:
+                     throughput, p50/p99, sheds, errs, daemon goroutines/heap
+  -soak-every dur    soak sampling window (10s)
   -json FILE         also write the full report as JSON
   -md                print the latency table as markdown (for CI job summaries)
   -list              list built-in scenarios and exit
@@ -58,6 +64,10 @@ func main() {
 	opBudget := fs.Duration("op-budget", 10*time.Second, "")
 	doCheck := fs.Bool("check", false, "")
 	doParity := fs.Bool("parity", false, "")
+	failoverAddr := fs.String("failover-addr", "", "")
+	faultExec := fs.String("fault-exec", "", "")
+	soak := fs.Bool("soak", false, "")
+	soakEvery := fs.Duration("soak-every", 10*time.Second, "")
 	jsonPath := fs.String("json", "", "")
 	markdown := fs.Bool("md", false, "")
 	list := fs.Bool("list", false, "")
@@ -94,12 +104,26 @@ func main() {
 		}
 	}
 
+	if sc.Fault.Action == "failover" && (*failoverAddr == "" || *faultExec == "") {
+		fmt.Fprintln(os.Stderr, "loadgen: a failover scenario needs -failover-addr and -fault-exec")
+		os.Exit(2)
+	}
+	opts := runOpts{
+		opBudget:     *opBudget,
+		parity:       *doParity,
+		failoverAddr: *failoverAddr,
+		faultExec:    *faultExec,
+	}
+	if *soak {
+		opts.soakEvery = *soakEvery
+	}
+
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
 	}
 	logf("scenario %s against %s: %d clients for %v (+%v warmup)",
 		sc.Name, *addr, sc.Clients, sc.Duration, sc.Warmup)
-	res, err := runScenario(*addr, sc, *opBudget, *doParity, logf)
+	res, err := runScenario(*addr, sc, opts, logf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -134,7 +158,10 @@ func printText(w *os.File, res *runResult) {
 				cs.Class, cs.Admitted, cs.PerSec, cs.P50, cs.P99, cs.P999, cs.Shed, cs.Errs)
 		}
 	}
-	fmt.Fprintf(w, "hangs=%d dead_workers=%d\n", res.Hangs, res.DeadWorkers)
+	fmt.Fprintf(w, "hangs=%d dead_workers=%d reconnects=%d\n", res.Hangs, res.DeadWorkers, res.Reconnects)
+	if res.FaultDetail != "" {
+		fmt.Fprintln(w, "fault:", res.FaultDetail)
+	}
 	for i, cut := range res.SlowCuts {
 		if cut > 0 {
 			fmt.Fprintf(w, "slow client %d cut after %v\n", i, cut.Round(time.Millisecond))
@@ -159,7 +186,10 @@ func printMarkdown(w *os.File, res *runResult) {
 				ph.Name, cs.Class, cs.Admitted, cs.PerSec, cs.P50, cs.P99, cs.P999, cs.Shed, cs.Errs)
 		}
 	}
-	fmt.Fprintf(w, "\nhangs=%d dead_workers=%d", res.Hangs, res.DeadWorkers)
+	fmt.Fprintf(w, "\nhangs=%d dead_workers=%d reconnects=%d", res.Hangs, res.DeadWorkers, res.Reconnects)
+	if res.FaultDetail != "" {
+		fmt.Fprintf(w, " (%s)", res.FaultDetail)
+	}
 	if res.ParityChecked {
 		if res.ParityDetail != "" {
 			fmt.Fprint(w, " parity=ok")

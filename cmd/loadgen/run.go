@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incgraph"
@@ -24,7 +25,9 @@ type runResult struct {
 
 	Hangs       int             `json:"hangs"`
 	DeadWorkers int             `json:"dead_workers"`
-	SlowCuts    []time.Duration `json:"slow_cuts,omitempty"` // per slow client; 0 = never cut
+	Reconnects  int             `json:"reconnects,omitempty"`   // fault-scenario redials
+	FaultDetail string          `json:"fault_detail,omitempty"` // what the fault driver did
+	SlowCuts    []time.Duration `json:"slow_cuts,omitempty"`    // per slow client; 0 = never cut
 
 	ParityChecked bool   `json:"parity_checked"`
 	ParityDetail  string `json:"parity_detail,omitempty"`
@@ -53,21 +56,73 @@ type classStats struct {
 	Mean     time.Duration `json:"mean"`
 }
 
+// addrBook is the shared daemon address. The failover driver swaps it
+// to the promoted standby mid-run; reconnecting workers, the soak
+// sampler, and the parity check all dial whatever is current.
+type addrBook struct {
+	mu   sync.Mutex
+	addr string
+}
+
+func (a *addrBook) get() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.addr
+}
+
+func (a *addrBook) set(addr string) {
+	a.mu.Lock()
+	a.addr = addr
+	a.mu.Unlock()
+}
+
+// runEnv is the state one scenario run shares across its workers and
+// drivers: the (swappable) daemon address, the failover pause flag, and
+// the optional soak sampler.
+type runEnv struct {
+	book     *addrBook
+	paused   atomic.Bool
+	soak     *soakSampler
+	faulty   bool // fault scenario: reconnect through transport errors
+	opBudget time.Duration
+	epoch    time.Time
+}
+
+// runOpts is the CLI side of a run: budgets, the parity check, the
+// fault-drill endpoints, and soak sampling.
+type runOpts struct {
+	opBudget     time.Duration
+	parity       bool
+	failoverAddr string // standby to promote on fault.action=failover
+	faultExec    string // shell command that kills the primary
+	soakEvery    time.Duration
+}
+
 // runScenario drives sc against addr and returns the merged result.
-// checkParity additionally replays every admitted commit serially onto an
+// opts.parity additionally replays every admitted commit serially onto an
 // empty graph and requires the daemon's post-storm graph and answers to
 // match byte for byte — valid only when the daemon started empty and
 // loadgen is its only client.
-func runScenario(addr string, sc *Scenario, opBudget time.Duration, checkParity bool, logf func(string, ...any)) (*runResult, error) {
+func runScenario(addr string, sc *Scenario, opts runOpts, logf func(string, ...any)) (*runResult, error) {
 	epoch := time.Now().Add(sc.Warmup)
 	stop := make(chan struct{})
 	spikeStop := make(chan struct{})
+
+	env := &runEnv{
+		book:     &addrBook{addr: addr},
+		faulty:   sc.Fault.Action != "",
+		opBudget: opts.opBudget,
+		epoch:    epoch,
+	}
+	if opts.soakEvery > 0 {
+		env.soak = newSoakSampler(env.book)
+	}
 
 	var wg sync.WaitGroup
 	workers := make([]*worker, 0, sc.Clients)
 	var werr error
 	for i := 0; i < sc.Clients; i++ {
-		w, err := newWorker(i, addr, sc, opBudget, epoch, int64(1000+i))
+		w, err := newWorker(i, env, sc, int64(1000+i))
 		if err != nil {
 			werr = err
 			break
@@ -111,7 +166,7 @@ func runScenario(addr string, sc *Scenario, opBudget time.Duration, checkParity 
 			logf("spike: +%d clients for %v", sc.Clients*sc.Spike.Multiplier, sc.Spike.Duration)
 			var swg sync.WaitGroup
 			for i := 0; i < sc.Clients*sc.Spike.Multiplier; i++ {
-				w, err := newWorker(10_000+i, addr, sc, opBudget, epoch, int64(20_000+i))
+				w, err := newWorker(10_000+i, env, sc, int64(20_000+i))
 				if err != nil {
 					continue // accept-shed during overload is the contract working
 				}
@@ -133,6 +188,25 @@ func runScenario(addr string, sc *Scenario, opBudget time.Duration, checkParity 
 		}()
 	}
 
+	// The soak sampler emits periodic time-series lines; the fault driver
+	// runs the scenario's failover or rebalance mid-storm.
+	if env.soak != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env.soak.run(stop, opts.soakEvery, epoch)
+		}()
+	}
+	var faultErr error
+	var faultDetail string
+	if sc.Fault.Action != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			faultDetail, faultErr = runFault(sc, env, opts, stop, logf)
+		}()
+	}
+
 	time.Sleep(time.Until(epoch.Add(sc.Duration)))
 	close(stop)
 	wg.Wait()
@@ -142,15 +216,21 @@ func runScenario(addr string, sc *Scenario, opBudget time.Duration, checkParity 
 	spikeMu.Unlock()
 
 	res := merge(sc, all, slowCuts)
+	res.FaultDetail = faultDetail
+	if faultErr != nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("fault driver: %v", faultErr))
+	}
 	for _, err := range slowErrs {
 		if err != nil {
 			res.Violations = append(res.Violations, fmt.Sprintf("slow client: %v", err))
 		}
 	}
 	check(sc, res)
-	if checkParity {
+	if opts.parity {
 		res.ParityChecked = true
-		if err := verifyParity(addr, all); err != nil {
+		// After a failover the promoted standby is the daemon of record;
+		// the book points at whoever must hold every acked commit now.
+		if err := verifyParity(env.book.get(), all); err != nil {
 			res.Violations = append(res.Violations, fmt.Sprintf("parity: %v", err))
 		} else {
 			res.ParityDetail = "daemon state matches serial replay of admitted commits"
@@ -175,6 +255,12 @@ func phaseOf(sc *Scenario, at time.Duration) string {
 			return "post"
 		}
 	}
+	if sc.Fault.Action != "" {
+		if at < sc.Fault.At {
+			return "pre"
+		}
+		return "post"
+	}
 	return "steady"
 }
 
@@ -189,6 +275,14 @@ func phaseSeconds(sc *Scenario, name string) float64 {
 			return (sc.Duration - sc.Spike.At - sc.Spike.Duration).Seconds()
 		}
 	}
+	if sc.Fault.Action != "" {
+		switch name {
+		case "pre":
+			return sc.Fault.At.Seconds()
+		case "post":
+			return (sc.Duration - sc.Fault.At).Seconds()
+		}
+	}
 	return sc.Duration.Seconds()
 }
 
@@ -198,6 +292,8 @@ func merge(sc *Scenario, workers []*worker, slowCuts []time.Duration) *runResult
 	order := []string{"steady"}
 	if sc.Spike.Multiplier > 0 {
 		order = []string{"steady", "spike", "post"}
+	} else if sc.Fault.Action != "" {
+		order = []string{"pre", "post"}
 	}
 	for _, name := range order {
 		phases[name] = &phaseStats{Name: name, Seconds: phaseSeconds(sc, name), hists: map[string]*hist{}}
@@ -208,6 +304,7 @@ func merge(sc *Scenario, workers []*worker, slowCuts []time.Duration) *runResult
 	}
 	for _, w := range workers {
 		res.Hangs += w.hangs
+		res.Reconnects += w.reconnects
 		if w.dead {
 			res.DeadWorkers++
 		}
@@ -292,6 +389,11 @@ func check(sc *Scenario, res *runResult) {
 			res.Violations = append(res.Violations,
 				"spike produced no sheds: the run did not actually overload the daemon (lower its gate limits)")
 		}
+	}
+	if sc.Fault.Action != "" && res.DeadWorkers > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%d workers died during the %s drill: every worker must reconnect and keep serving",
+				res.DeadWorkers, sc.Fault.Action))
 	}
 	if sc.ExpectCutWithin > 0 {
 		for i, cut := range res.SlowCuts {

@@ -24,7 +24,12 @@ type Scenario struct {
 	Warmup   time.Duration // unrecorded ramp-up
 	Batch    int           // updates per commit op
 	Hotspot  float64       // fraction of inserts aimed at shared hot keys
-	Mix      map[string]int
+	// Think pauses each worker between ops, bounding the offered rate to
+	// roughly Clients/Think — closed-loop pacing for scenarios that must
+	// not outrun a replica (an HA standby applies the feed serially; a
+	// firehose would legitimately get it cut for falling behind).
+	Think time.Duration
+	Mix   map[string]int
 	// SlowClients additionally connect byte-at-a-time clients that never
 	// complete a line; ExpectCutWithin > 0 makes -check require the server
 	// to cut each of them within that budget.
@@ -38,6 +43,18 @@ type Scenario struct {
 		At         time.Duration
 		Duration   time.Duration
 		Multiplier int
+	}
+
+	// Fault, when Action is non-empty, injects a topology fault mid-run.
+	// "failover" drains commits, kills the primary (-fault-exec), promotes
+	// the standby (-failover-addr), and redirects every worker to it at
+	// At. "rebalance" moves one shard to the next worker every Every
+	// starting at At, under full load. Workers reconnect through faults
+	// instead of dying, and the degradation contract stays asserted.
+	Fault struct {
+		At     time.Duration
+		Action string
+		Every  time.Duration
 	}
 
 	// Check bounds for -check; zero values disable the individual checks.
@@ -110,6 +127,10 @@ func parseScenario(data []byte) (*Scenario, error) {
 			if sc.Hotspot, err = yamlFloat(key, v); err != nil {
 				return nil, err
 			}
+		case "think":
+			if sc.Think, err = yamlDur(key, v); err != nil {
+				return nil, err
+			}
 		case "slow_clients":
 			if sc.SlowClients, err = yamlInt(key, v); err != nil {
 				return nil, err
@@ -154,6 +175,31 @@ func parseScenario(data []byte) (*Scenario, error) {
 					}
 				default:
 					return nil, fmt.Errorf("spike: unknown key %q", k)
+				}
+			}
+		case "fault":
+			m, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("fault: want a map")
+			}
+			for k, fv := range m {
+				switch k {
+				case "at":
+					if sc.Fault.At, err = yamlDur("fault.at", fv); err != nil {
+						return nil, err
+					}
+				case "action":
+					s, ok := fv.(string)
+					if !ok || (s != "failover" && s != "rebalance") {
+						return nil, fmt.Errorf("fault.action: want failover|rebalance")
+					}
+					sc.Fault.Action = s
+				case "every":
+					if sc.Fault.Every, err = yamlDur("fault.every", fv); err != nil {
+						return nil, err
+					}
+				default:
+					return nil, fmt.Errorf("fault: unknown key %q", k)
 				}
 			}
 		case "check":
@@ -203,6 +249,14 @@ func parseScenario(data []byte) (*Scenario, error) {
 	}
 	if sc.Spike.Multiplier > 0 && sc.Spike.At+sc.Spike.Duration > sc.Duration {
 		return nil, fmt.Errorf("scenario %s: spike window ends after the run", sc.Name)
+	}
+	if sc.Fault.Action != "" {
+		if sc.Fault.At <= 0 || sc.Fault.At >= sc.Duration {
+			return nil, fmt.Errorf("scenario %s: fault.at must fall inside the run", sc.Name)
+		}
+		if sc.Fault.Action == "rebalance" && sc.Fault.Every <= 0 {
+			sc.Fault.Every = time.Second
+		}
 	}
 	return sc, nil
 }

@@ -60,6 +60,8 @@ func TestParseScenarioValidation(t *testing.T) {
 		"spike past end":   "name: x\nclients: 2\nduration: 1s\nmix:\n  query: 1\nspike:\n  at: 900ms\n  duration: 500ms\n  multiplier: 2\n",
 		"non-numeric int":  "name: x\nclients: two\nduration: 1s\nmix:\n  query: 1\n",
 		"non-duration dur": "name: x\nclients: 2\nduration: soon\nmix:\n  query: 1\n",
+		"bad fault action": "name: x\nclients: 2\nduration: 1s\nmix:\n  query: 1\nfault:\n  action: explode\n  at: 500ms\n",
+		"fault past end":   "name: x\nclients: 2\nduration: 1s\nmix:\n  query: 1\nfault:\n  action: failover\n  at: 2s\n",
 	}
 	for name, in := range cases {
 		if _, err := parseScenario([]byte(in)); err == nil {
@@ -78,8 +80,8 @@ func TestParseScenarioValidation(t *testing.T) {
 // Every embedded scenario must load; they are the CLI's public surface.
 func TestBuiltinScenariosLoad(t *testing.T) {
 	names := builtinScenarios()
-	if len(names) != 6 {
-		t.Fatalf("want 6 built-in scenarios, have %v", names)
+	if len(names) != 8 {
+		t.Fatalf("want 8 built-in scenarios, have %v", names)
 	}
 	for _, name := range names {
 		sc, err := loadScenario(name)

@@ -195,11 +195,28 @@
 //     from a live primary redirects reads to the primary rather than
 //     answer stale. Writes are only ever accepted at the single fenced
 //     primary.
+//   - Anti-entropy scrubbing. Gap detection only catches a replica that
+//     missed a record; a replica rotted by anything that preserves the
+//     sequence chain — a bit flip in a replica log file, silently
+//     diverged in-memory state — would stay wrong until a commit
+//     happened to abort on it. The coordinator's background scrubber
+//     (Cluster.Scrub, Cluster.StartScrubber) walks shards round-robin,
+//     one per interval: it compares the worker's parcel bytes against the
+//     authoritative segment and asks the worker to re-scan its replica
+//     log file against what it acknowledged, and re-places any shard
+//     that fails either check — the same heal a gap triggers, driven by
+//     verification instead of luck. Busy shards are skipped, not waited
+//     for; passes, mismatches, and heals are lifetime counters.
 //   - Fault drills. FaultScript wraps any cluster connection in a seeded
 //     frame-level shim (drop/delay/duplicate/sever, matched by direction,
 //     frame index, and message type) with an event log that is
 //     reproducible run-to-run — the chaos drills in CI assert the same
-//     faults fire at the same frames twice in a row.
+//     faults fire at the same frames twice in a row. FaultFS is its
+//     storage counterpart: a seeded filesystem shim under the store's
+//     write path (DurableOptions.FS) that fails chosen syscalls — EIO,
+//     ENOSPC, short and torn writes, fsyncs that fail or lie, crash and
+//     power-loss at write K — with the same determinism pin, so disk
+//     drills replay byte-for-byte.
 //
 // cmd/incgraphd exposes all of this operationally: "incgraphd worker"
 // runs a shard worker, the serving daemon attaches workers with
@@ -234,6 +251,18 @@
 //     connection, an over-limit line gets "err line too long" before the
 //     close — and past -max-conns new connections are shed at accept.
 //     A misbehaving client never degrades a healthy one.
+//   - The disk has its own column in the matrix: healthy → retrying →
+//     read-only → healed. A failed WAL append is retried with capped
+//     backoff (healthy commits never notice a transient flake); a disk
+//     that stays dead flips the daemon into advertised read-only mode,
+//     where commits shed with "err disk degraded; read-only" — keeping
+//     their staged batch, like any shed — while reads keep answering
+//     from the maintained engines and "health" says disk=read-only. A
+//     background probe flips it back the moment a WAL fsync succeeds
+//     again; recovery needs no operator and no restart, and "acked ⇒
+//     durable" holds across the whole cycle — a commit acknowledged
+//     before, during, or after the incident is on disk, and a shed one
+//     left no trace.
 //   - Nothing is silent: every shed, queue timeout, idle cut, oversized
 //     line, and refused connection is a counter in "stat".
 //

@@ -50,6 +50,9 @@ const (
 type DurableOptions struct {
 	// Sync is the WAL fsync policy; the zero value is SyncAlways.
 	Sync SyncPolicy
+	// FS routes the store's write-path file operations; nil means the
+	// real filesystem. Set a *FaultFS to drill disk failures.
+	FS FS
 }
 
 // Durable is a graph store plus the engines maintained in lockstep with it.
@@ -68,7 +71,7 @@ type Durable struct {
 // clones of g (NewKWS(g.Clone(), ...) etc.) should be attached with
 // Attach before the first Apply.
 func CreateDurable(dir string, g *Graph, opts DurableOptions) (*Durable, error) {
-	st, err := store.Create(dir, g, store.Options{Sync: opts.Sync})
+	st, err := store.Create(dir, g, store.Options{Sync: opts.Sync, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +84,7 @@ func CreateDurable(dir string, g *Graph, opts DurableOptions) (*Durable, error) 
 // WAL through every engine's normal Apply path. Apply refuses until
 // Recover has run.
 func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
-	st, g, records, err := store.Open(dir, store.Options{Sync: opts.Sync})
+	st, g, records, err := store.Open(dir, store.Options{Sync: opts.Sync, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +234,16 @@ func (d *Durable) Generation() uint64 { return d.base.Generation() }
 // Close closes the write-ahead log. The store remains openable.
 func (d *Durable) Close() error { return d.st.Close() }
 
+// WALBroken returns the wedging error of a WAL whose failed append could
+// not be rolled back, or nil while appends can still be acknowledged. A
+// broken log heals through Checkpoint, which starts a fresh one — the
+// probe a serving layer's disk-degradation recovery loop keys off.
+func (d *Durable) WALBroken() error { return d.st.WALBroken() }
+
+// SyncWAL forces a WAL fsync regardless of policy: a cheap disk-health
+// probe for deciding when a degraded daemon may leave read-only mode.
+func (d *Durable) SyncWAL() error { return d.st.Sync() }
+
 // Snapshot I/O, re-exported for callers that want graph persistence
 // without a store directory (the CLI tools accept .snap files anywhere a
 // text graph is accepted).
@@ -256,3 +269,38 @@ func LoadGraphFile(path string) (*Graph, error) { return store.ReadGraphFile(pat
 // ValidateBatch reports whether ApplyBatch(b) would succeed on g, without
 // mutating anything; see graph.ValidateBatch.
 func ValidateBatch(g *Graph, b Batch) error { return g.ValidateBatch(b) }
+
+// Disk-fault injection, re-exported from internal/store. A FaultFS wraps
+// the real filesystem and fails chosen syscalls deterministically — the
+// storage counterpart of the cluster FaultScript — so disk drills
+// (ENOSPC mid-append, lying fsync, power loss at write K) run seeded and
+// reproducible through DurableOptions.FS; see store.FaultFS.
+type (
+	// FS is the filesystem seam every store write goes through.
+	FS = store.FS
+	// FaultFS is a seeded fault-injecting FS.
+	FaultFS = store.FaultFS
+	// FSRule matches filesystem operations for fault injection.
+	FSRule = store.FSRule
+	// FaultKind is the failure a fired FSRule injects.
+	FaultKind = store.FaultKind
+)
+
+// Disk-fault kinds for FSRule.Kind; see the store package constants.
+const (
+	FaultEIO        = store.FaultEIO
+	FaultENOSPC     = store.FaultENOSPC
+	FaultShortWrite = store.FaultShortWrite
+	FaultTornWrite  = store.FaultTornWrite
+	FaultSyncFail   = store.FaultSyncFail
+	FaultSyncLie    = store.FaultSyncLie
+	FaultCrash      = store.FaultCrash
+	FaultPowerFail  = store.FaultPowerFail
+)
+
+// ErrDiskCrashed reports a filesystem operation attempted after an
+// injected crash or power failure.
+var ErrDiskCrashed = store.ErrCrashed
+
+// NewFaultFS builds a seeded fault-injecting filesystem from rules.
+func NewFaultFS(seed int64, rules ...FSRule) *FaultFS { return store.NewFaultFS(seed, rules...) }

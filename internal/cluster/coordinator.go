@@ -188,6 +188,13 @@ type Coordinator struct {
 	replShipped  atomic.Uint64
 	replDegraded atomic.Uint64
 
+	// Anti-entropy counters; see scrub.go.
+	scrubPasses     atomic.Uint64
+	scrubChecked    atomic.Uint64
+	scrubMismatches atomic.Uint64
+	scrubHeals      atomic.Uint64
+	scrubSkips      atomic.Uint64
+
 	// quit stops the shipping goroutines; closed once by Close.
 	quit     chan struct{}
 	quitOnce sync.Once

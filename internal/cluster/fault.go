@@ -220,6 +220,8 @@ func msgName(b byte) string {
 		return "feed"
 	case msgPing:
 		return "ping"
+	case msgScrub:
+		return "scrub"
 	default:
 		return fmt.Sprintf("type%d", b)
 	}

@@ -64,6 +64,11 @@ const (
 	msgFeed
 	// msgPing is the hub's lease heartbeat on a tail stream: u64 term.
 	msgPing
+	// msgScrub asks a worker to verify the on-disk integrity of a shard's
+	// replica log: uvarint shard. The response is msgOK + status byte (0
+	// intact, 1 damaged) + optional damage description. Additive: an older
+	// worker answers msgErr, which the scrubber treats as unverifiable.
+	msgScrub
 )
 
 // ErrProtocol reports a semantically malformed message: unknown type,

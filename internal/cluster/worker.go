@@ -345,6 +345,27 @@ func (w *Worker) dispatch(t msgType, r *reader, sessTerm *uint64) ([]byte, error
 		}
 		return encodeReplStates(states), nil
 
+	case msgScrub:
+		if w.g == nil {
+			return nil, fmt.Errorf("scrub before hello")
+		}
+		s, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		if s >= uint64(w.g.NumShards()) || !w.owned[int(s)] {
+			return nil, fmt.Errorf("shard %d not placed here", s)
+		}
+		// Read-only like export: no fencing needed, and a deposed
+		// coordinator scrubbing does no harm.
+		if err := w.repl.Verify(int(s)); err != nil {
+			return append([]byte{byte(msgOK), scrubDamaged}, err.Error()...), nil
+		}
+		return []byte{byte(msgOK), scrubIntact}, nil
+
 	case msgStat:
 		if err := r.done(); err != nil {
 			return nil, err

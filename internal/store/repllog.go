@@ -78,7 +78,7 @@ var ErrBadReplLog = errors.New("store: bad replica log")
 
 // shardLog is one shard's log state.
 type shardLog struct {
-	f       *os.File // nil in memory mode
+	f       File // nil in memory mode
 	baseSeq uint64
 	lastSeq uint64
 	records int
@@ -89,6 +89,7 @@ type shardLog struct {
 // concurrent use; the worker's request mutex serializes access.
 type ReplicaLog struct {
 	dir    string // "" = memory mode
+	fsys   FS
 	policy SyncPolicy
 	shards map[int]*shardLog
 	buf    []byte // reused frame scratch
@@ -105,17 +106,23 @@ func NewMemReplicaLog() *ReplicaLog {
 // and any torn tail truncated, restoring each shard's (baseSeq, lastSeq)
 // so gap detection spans worker restarts.
 func OpenReplicaLog(dir string, policy SyncPolicy) (*ReplicaLog, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenReplicaLogFS(OS, dir, policy)
+}
+
+// OpenReplicaLogFS is OpenReplicaLog through an explicit filesystem.
+func OpenReplicaLogFS(fsys FS, dir string, policy SyncPolicy) (*ReplicaLog, error) {
+	fsys = fsOrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &ReplicaLog{dir: dir, policy: policy, shards: make(map[int]*shardLog)}
-	names, err := filepath.Glob(filepath.Join(dir, "repl-*.log"))
+	l := &ReplicaLog{dir: dir, fsys: fsys, policy: policy, shards: make(map[int]*shardLog)}
+	names, err := fsys.Glob(filepath.Join(dir, "repl-*.log"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		sl, shard, err := openShardLog(name)
+		sl, shard, err := openShardLog(fsys, name)
 		if err != nil {
 			l.Close()
 			return nil, fmt.Errorf("%s: %w", name, err)
@@ -127,8 +134,8 @@ func OpenReplicaLog(dir string, policy SyncPolicy) (*ReplicaLog, error) {
 
 // openShardLog opens one shard file, replays its valid prefix and
 // truncates any torn tail, leaving it positioned for appends.
-func openShardLog(path string) (*shardLog, int, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func openShardLog(fsys FS, path string) (*shardLog, int, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -195,7 +202,7 @@ func (l *ReplicaLog) Reset(s int, seq uint64) error {
 	}
 	sl := &shardLog{baseSeq: seq, lastSeq: seq, size: int64(replHeaderSize)}
 	if l.dir != "" {
-		f, err := os.OpenFile(l.path(s), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		f, err := l.fs().OpenFile(l.path(s), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return err
 		}
@@ -272,7 +279,7 @@ func (l *ReplicaLog) Drop(s int) error {
 	delete(l.shards, s)
 	if sl.f != nil {
 		sl.f.Close()
-		return os.Remove(l.path(s))
+		return l.fs().Remove(l.path(s))
 	}
 	return nil
 }
@@ -317,7 +324,7 @@ func (l *ReplicaLog) Replay(s int) ([]ReplayRecord, error) {
 	if err := sl.f.Sync(); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(l.path(s))
+	data, err := l.readFile(s)
 	if err != nil {
 		return nil, err
 	}
@@ -354,4 +361,73 @@ func (l *ReplicaLog) Close() error {
 
 func (l *ReplicaLog) path(s int) string {
 	return filepath.Join(l.dir, fmt.Sprintf("repl-%03d.log", s))
+}
+
+// fs returns the log's filesystem, defaulting to the real one.
+func (l *ReplicaLog) fs() FS { return fsOrOS(l.fsys) }
+
+// readFile reads shard s's log file in full through the filesystem seam.
+func (l *ReplicaLog) readFile(s int) ([]byte, error) {
+	f, err := l.fs().OpenFile(l.path(s), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// ErrReplDamaged reports a replica log whose on-disk bytes no longer back
+// the state the replica acknowledged: the durable record prefix ends
+// before the in-memory last sequence (bit flip, torn overwrite, external
+// truncation). The replica must be resynced from an authoritative parcel.
+var ErrReplDamaged = errors.New("store: replica log damaged")
+
+// Verify re-reads shard s's log file and checks that its valid record
+// prefix still backs the acknowledged in-memory state. It returns nil for
+// an intact log (and always in memory mode, which has no file to rot) and
+// an ErrReplDamaged-wrapped error when the durable prefix has regressed —
+// the anti-entropy scrubber's disk-side check.
+func (l *ReplicaLog) Verify(s int) error {
+	sl, ok := l.shards[s]
+	if !ok || sl.f == nil {
+		return nil
+	}
+	data, err := l.readFile(s)
+	if err != nil {
+		return fmt.Errorf("%w: shard %d: %v", ErrReplDamaged, s, err)
+	}
+	if len(data) < replHeaderSize {
+		return fmt.Errorf("%w: shard %d: short header", ErrReplDamaged, s)
+	}
+	if [8]byte(data[:8]) != replMagic ||
+		binary.LittleEndian.Uint32(data[8:]) != ReplVersion ||
+		binary.LittleEndian.Uint64(data[12:]) != uint64(s) ||
+		binary.LittleEndian.Uint64(data[20:]) != sl.baseSeq {
+		return fmt.Errorf("%w: shard %d: corrupt header", ErrReplDamaged, s)
+	}
+	lastSeq, records := sl.baseSeq, 0
+	off := replHeaderSize
+	for off+8 <= len(data) {
+		length := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxWALRecord || off+8+int(length) > len(data) {
+			break
+		}
+		payload := data[off+8 : off+8+int(length)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil || rec.Seq <= lastSeq {
+			break
+		}
+		lastSeq = rec.Seq
+		records++
+		off += 8 + int(length)
+	}
+	if lastSeq < sl.lastSeq || records < sl.records {
+		return fmt.Errorf("%w: shard %d: durable prefix ends at seq %d (%d records), acknowledged through seq %d (%d records)",
+			ErrReplDamaged, s, lastSeq, records, sl.lastSeq, sl.records)
+	}
+	return nil
 }

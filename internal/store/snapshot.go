@@ -461,11 +461,17 @@ func readAdjacency(sr *segReader) ([]graph.NodeID, error) {
 // WriteSnapshotFile writes a snapshot atomically: to a temp file in the
 // same directory, fsynced, then renamed over path.
 func WriteSnapshotFile(path string, g *graph.Graph) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	return WriteSnapshotFileFS(OS, path, g)
+}
+
+// WriteSnapshotFileFS is WriteSnapshotFile through an explicit filesystem.
+func WriteSnapshotFileFS(fsys FS, path string, g *graph.Graph) error {
+	fsys = fsOrOS(fsys)
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".snap-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if err := WriteSnapshot(tmp, g); err != nil {
 		tmp.Close()
 		return err
@@ -477,7 +483,7 @@ func WriteSnapshotFile(path string, g *graph.Graph) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return fsys.Rename(tmp.Name(), path)
 }
 
 // ReadSnapshotFile loads a snapshot file.

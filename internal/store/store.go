@@ -39,6 +39,9 @@ type Store struct {
 type Options struct {
 	// Sync is the WAL fsync policy; the zero value is SyncAlways.
 	Sync SyncPolicy
+	// FS routes the store's write-path file operations; nil means the
+	// real filesystem. Set a *FaultFS here to drill disk failures.
+	FS FS
 }
 
 // manifestName is the commit-point file inside a store directory.
@@ -60,7 +63,7 @@ func Exists(dir string) bool {
 // of g as epoch 1, an empty WAL, and the manifest committing the pair.
 // The directory is created if needed and must not already hold a store.
 func Create(dir string, g *graph.Graph, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsOrOS(opts.FS).MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if Exists(dir) {
@@ -69,10 +72,10 @@ func Create(dir string, g *graph.Graph, opts Options) (*Store, error) {
 	s := &Store{dir: dir, opts: opts, epoch: 1}
 	s.snap = snapName(s.epoch)
 	s.walRel = walName(s.epoch)
-	if err := WriteSnapshotFile(filepath.Join(dir, s.snap), g); err != nil {
+	if err := WriteSnapshotFileFS(s.fs(), filepath.Join(dir, s.snap), g); err != nil {
 		return nil, err
 	}
-	w, err := CreateWAL(filepath.Join(dir, s.walRel), g.Generation(), opts.Sync)
+	w, err := CreateWALFS(s.fs(), filepath.Join(dir, s.walRel), g.Generation(), opts.Sync)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +102,7 @@ func Open(dir string, opts Options) (*Store, *graph.Graph, []ReplayRecord, error
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	w, records, err := OpenWAL(filepath.Join(dir, walRel), opts.Sync)
+	w, records, err := OpenWALFS(opts.FS, filepath.Join(dir, walRel), opts.Sync)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -119,12 +122,12 @@ func (s *Store) Checkpoint(g *graph.Graph) error {
 	oldSnap, oldWALRel, oldWAL := s.snap, s.walRel, s.wal
 	epoch := s.epoch + 1
 	snapRel, walRel := snapName(epoch), walName(epoch)
-	if err := WriteSnapshotFile(filepath.Join(s.dir, snapRel), g); err != nil {
+	if err := WriteSnapshotFileFS(s.fs(), filepath.Join(s.dir, snapRel), g); err != nil {
 		return err
 	}
-	w, err := CreateWAL(filepath.Join(s.dir, walRel), g.Generation(), s.opts.Sync)
+	w, err := CreateWALFS(s.fs(), filepath.Join(s.dir, walRel), g.Generation(), s.opts.Sync)
 	if err != nil {
-		os.Remove(filepath.Join(s.dir, snapRel))
+		s.fs().Remove(filepath.Join(s.dir, snapRel))
 		return err
 	}
 	s.epoch, s.snap, s.walRel, s.wal = epoch, snapRel, walRel, w
@@ -134,8 +137,8 @@ func (s *Store) Checkpoint(g *graph.Graph) error {
 		// committed one. Roll back to it and discard the new files.
 		s.epoch, s.snap, s.walRel, s.wal = epoch-1, oldSnap, oldWALRel, oldWAL
 		w.Close()
-		os.Remove(filepath.Join(s.dir, snapRel))
-		os.Remove(filepath.Join(s.dir, walRel))
+		s.fs().Remove(filepath.Join(s.dir, snapRel))
+		s.fs().Remove(filepath.Join(s.dir, walRel))
 		return err
 	}
 	if err != nil {
@@ -146,8 +149,8 @@ func (s *Store) Checkpoint(g *graph.Graph) error {
 		return err
 	}
 	oldWAL.Close()
-	os.Remove(filepath.Join(s.dir, oldSnap))
-	os.Remove(filepath.Join(s.dir, oldWALRel))
+	s.fs().Remove(filepath.Join(s.dir, oldSnap))
+	s.fs().Remove(filepath.Join(s.dir, oldWALRel))
 	return nil
 }
 
@@ -179,11 +182,11 @@ func walName(epoch uint64) string  { return fmt.Sprintf("wal-%08d.log", epoch) }
 // (directory fsync failure), in which case the commit is real but its
 // crash-durability is uncertain.
 func (s *Store) writeManifest() (committed bool, err error) {
-	tmp, err := os.CreateTemp(s.dir, ".manifest-*")
+	tmp, err := s.fs().CreateTemp(s.dir, ".manifest-*")
 	if err != nil {
 		return false, err
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs().Remove(tmp.Name())
 	_, err = fmt.Fprintf(tmp, "incgraph-store %d\nepoch %d\nsnapshot %s\nwal %s\n",
 		manifestVersion, s.epoch, s.snap, s.walRel)
 	if err != nil {
@@ -197,10 +200,10 @@ func (s *Store) writeManifest() (committed bool, err error) {
 	if err := tmp.Close(); err != nil {
 		return false, err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, manifestName)); err != nil {
+	if err := s.fs().Rename(tmp.Name(), filepath.Join(s.dir, manifestName)); err != nil {
 		return false, err
 	}
-	return true, syncDir(s.dir)
+	return true, s.fs().SyncDir(s.dir)
 }
 
 // readManifest parses the commit-point file.
@@ -248,12 +251,9 @@ func readManifest(path string) (epoch uint64, snap, wal string, err error) {
 	return epoch, snap, wal, nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
+// fs returns the store's filesystem, defaulting to the real one.
+func (s *Store) fs() FS { return fsOrOS(s.opts.FS) }
+
+// WALBroken returns the wedging error of a WAL whose failed append could
+// not be rolled back (nil while appends can still be acknowledged).
+func (s *Store) WALBroken() error { return s.wal.Broken() }

@@ -88,7 +88,7 @@ func (p SyncPolicy) String() string {
 
 // WAL is an open write-ahead log positioned for appends.
 type WAL struct {
-	f      *os.File
+	f      File
 	policy SyncPolicy
 	seq    uint64 // last appended sequence number
 	size   int64
@@ -119,7 +119,12 @@ type ReplayRecord struct {
 // CreateWAL creates a fresh log at path (truncating any existing file),
 // stamped as extending a snapshot at generation startGen.
 func CreateWAL(path string, startGen uint64, policy SyncPolicy) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateWALFS(OS, path, startGen, policy)
+}
+
+// CreateWALFS is CreateWAL through an explicit filesystem.
+func CreateWALFS(fsys FS, path string, startGen uint64, policy SyncPolicy) (*WAL, error) {
+	f, err := fsOrOS(fsys).OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +150,12 @@ func CreateWAL(path string, startGen uint64, policy SyncPolicy) (*WAL, error) {
 // prefix (returned for the caller to re-apply), truncates any torn or
 // corrupt tail, and positions the log at its clean end.
 func OpenWAL(path string, policy SyncPolicy) (*WAL, []ReplayRecord, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return OpenWALFS(OS, path, policy)
+}
+
+// OpenWALFS is OpenWAL through an explicit filesystem.
+func OpenWALFS(fsys FS, path string, policy SyncPolicy) (*WAL, []ReplayRecord, error) {
+	f, err := fsOrOS(fsys).OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -185,7 +195,7 @@ func ReplayWAL(path string) ([]ReplayRecord, int64, error) {
 // replay reads records from the header on, stopping at the first torn or
 // corrupt frame. It returns the decoded records, the clean end offset, and
 // the log's start generation.
-func replay(f *os.File) ([]ReplayRecord, int64, uint64, error) {
+func replay(f io.Reader) ([]ReplayRecord, int64, uint64, error) {
 	hdr := make([]byte, walHeaderSize)
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		return nil, 0, 0, fmt.Errorf("%w: short header", ErrBadWAL)
@@ -406,6 +416,11 @@ func decodeRecord(payload []byte) (ReplayRecord, error) {
 
 // Seq returns the sequence number of the last appended record.
 func (w *WAL) Seq() uint64 { return w.seq }
+
+// Broken returns the wedging error set by an append failure whose partial
+// write could not be rolled back, or nil while the log is appendable. A
+// broken log is recovered by checkpointing (which starts a fresh log).
+func (w *WAL) Broken() error { return w.broken }
 
 // Size returns the current log size in bytes.
 func (w *WAL) Size() int64 { return w.size }
