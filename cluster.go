@@ -2,6 +2,7 @@ package incgraph
 
 import (
 	"net"
+	"time"
 
 	"incgraph/internal/cluster"
 )
@@ -32,7 +33,55 @@ type (
 	// ClusterScrubStats are the lifetime anti-entropy counters
 	// (Cluster.ScrubCounters).
 	ClusterScrubStats = cluster.ScrubStats
+	// ClusterCommit is the split commit callback of Cluster.ApplyCommit:
+	// the log and apply halves of a batch's local commit, pipelined by
+	// the coordinator around the remote phase 1. Durable.Commit builds it
+	// for you; it is exported for callers driving a cluster without a
+	// Durable.
+	ClusterCommit = cluster.Commit
 )
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*cluster.CoordinatorOptions)
+
+// WithClusterTerm sets the coordinator's fencing term. Workers remember
+// the highest term seen; a promoted standby attaches at a higher term,
+// fencing every session of the coordinator it replaced.
+func WithClusterTerm(term uint64) ClusterOption {
+	return func(o *cluster.CoordinatorOptions) { o.Term = term }
+}
+
+// WithReplication sets the log-shipping policy (default ReplOff).
+func WithReplication(p ReplPolicy) ClusterOption {
+	return func(o *cluster.CoordinatorOptions) { o.Repl = p }
+}
+
+// WithCallTimeout overrides the per-RPC base deadline (default 60s); it
+// still scales with request size.
+func WithCallTimeout(d time.Duration) ClusterOption {
+	return func(o *cluster.CoordinatorOptions) { o.CallTimeout = d }
+}
+
+// WithOnCommit observes every committed batch in sequence order — wire a
+// ClusterHub's Feed here to drive standbys.
+func WithOnCommit(fn func(seq, preGen, postGen uint64, b Batch)) ClusterOption {
+	return func(o *cluster.CoordinatorOptions) { o.OnCommit = fn }
+}
+
+// WithSerialLog reverts the coordinator's pipelined WAL append: the log
+// step runs inside the serialized commit section instead of overlapping
+// phase 1. Differential-testing and debugging switch; results and WAL
+// bytes are identical either way.
+func WithSerialLog() ClusterOption {
+	return func(o *cluster.CoordinatorOptions) { o.SerialLog = true }
+}
+
+// WithNoCoalesce disables phase-1 group commit on the worker links: each
+// batch's share travels as its own request. Differential-testing and
+// debugging switch.
+func WithNoCoalesce() ClusterOption {
+	return func(o *cluster.CoordinatorOptions) { o.NoCoalesce = true }
+}
 
 // ErrClusterOverloaded reports a Cluster.ApplyDeadline that was shed at
 // shard admission: its per-op deadline expired while conflicting batches
@@ -41,11 +90,17 @@ type (
 var ErrClusterOverloaded = cluster.ErrOverloaded
 
 // NewCluster attaches the linked workers as shard workers of g,
-// handshaking each and placing every shard round-robin. While the cluster
-// is attached, Cluster.Apply (or Durable.ApplyVia) must be the only
-// mutation path of g.
-func NewCluster(g *Graph, links []ClusterLink) (*Cluster, error) {
-	return cluster.NewCoordinator(g, links)
+// handshaking each and placing every shard round-robin. Options select
+// the HA behaviors (fencing term, replication, commit hook) and the
+// commit-pipeline switches. While the cluster is attached, the cluster
+// commit path (Durable.Commit with ApplyOptions.Via, or Cluster.Apply
+// directly) must be the only mutation path of g.
+func NewCluster(g *Graph, links []ClusterLink, opts ...ClusterOption) (*Cluster, error) {
+	var o cluster.CoordinatorOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return cluster.NewCoordinatorWith(g, links, o)
 }
 
 // NewClusterWorker returns an empty shard worker; serve it with
@@ -58,31 +113,26 @@ func NewClusterWorker() *ClusterWorker { return cluster.NewWorker() }
 // is reattached and rebuilt from shipped segments automatically.
 func DialClusterWorker(addr string) (ClusterLink, error) { return cluster.Dial(addr) }
 
-// InProcessCluster starts n workers over synchronous in-memory pipes —
-// the deterministic transport used by tests and benchmarks. stop tears
-// the serving goroutines down.
+// InProcessLinks starts n workers over synchronous in-memory pipes — the
+// deterministic transport used by tests and benchmarks — and returns
+// links ready for NewCluster. stop tears the serving goroutines down.
+func InProcessLinks(n int) (links []ClusterLink, workers []*ClusterWorker, stop func()) {
+	return cluster.InProcess(n)
+}
+
+// InProcessCluster starts n workers over synchronous in-memory pipes.
+//
+// Deprecated: renamed InProcessLinks (it builds links, not a Cluster).
 func InProcessCluster(n int) (links []ClusterLink, workers []*ClusterWorker, stop func()) {
 	return cluster.InProcess(n)
 }
 
 // ApplyVia applies b through the cluster's distributed two-phase protocol
-// with the Durable as the commit step: phase 1 fans out to the shard
-// workers, and only after every worker acknowledged does the usual
-// durable path run — validate, WAL-append, apply to the base graph and
-// every attached engine. A worker failure aborts the batch atomically
-// (nothing is logged or applied locally) and the affected shards are
-// re-shipped from the authoritative graph before their next use.
+// with the Durable as the commit step.
+//
+// Deprecated: ApplyVia is Commit(b, ApplyOptions{Via: c}); use Commit.
 func (d *Durable) ApplyVia(c *Cluster, b Batch) ([]DeltaSummary, error) {
-	var sums []DeltaSummary
-	err := c.Apply(b, func(bb Batch) error {
-		var aerr error
-		sums, aerr = d.Apply(bb)
-		return aerr
-	})
-	if err != nil {
-		return nil, err
-	}
-	return sums, nil
+	return d.Commit(b, ApplyOptions{Via: c})
 }
 
 // ListenCluster is a convenience for worker processes: listen on addr and

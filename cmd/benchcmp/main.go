@@ -19,10 +19,19 @@
 // the gate (a silently dropped benchmark is a regression of coverage);
 // new experiments in the fresh run are reported and pass.
 //
+// A third gate is absolute rather than differential: when the fresh run
+// carries the "cluster" experiment, the geometric mean of the per-point
+// Cluster2w/SingleProc overhead must stay under -cluster-overhead
+// (default 2.5x). This pins the pipelined-commit budget — the distributed
+// two-phase apply must cost less than 2.5x the single-process apply on
+// the same sweep — against the run's own measurements, so a slow runner
+// cannot mask protocol bloat the way it can mask a wall-clock diff.
+//
 // Usage:
 //
 //	benchcmp -baseline BENCH_5.json -current fresh.json
-//	         [-time-ratio 2.5] [-alloc-ratio 1.15] [-alloc-slack 256] [-md]
+//	         [-time-ratio 2.5] [-alloc-ratio 1.15] [-alloc-slack 256]
+//	         [-cluster-overhead 2.5] [-md]
 //
 // # Re-baselining
 //
@@ -85,6 +94,7 @@ func main() {
 		timeFloor    = flag.Float64("time-floor-ns", 1e6, "exclude points whose baseline is below this from the wall-clock geomean (micro-phases are scheduler noise; their allocs are still gated)")
 		allocRatio   = flag.Float64("alloc-ratio", 1.15, "fail when any point's alloc count exceeds baseline*ratio+slack (strict: allocs are near-deterministic)")
 		allocSlack   = flag.Int64("alloc-slack", 256, "absolute alloc headroom per point, absorbing runtime noise around tiny phases")
+		overhead     = flag.Float64("cluster-overhead", 2.5, "fail when the cluster experiment's Cluster2w/SingleProc geomean exceeds this (0 disables)")
 		md           = flag.Bool("md", false, "emit a markdown table (for the CI job summary)")
 	)
 	flag.Parse()
@@ -108,6 +118,10 @@ func main() {
 		allocRatio: *allocRatio,
 		allocSlack: *allocSlack,
 	})
+	if r, ok := clusterOverheadGate(cur, *overhead); ok {
+		rows = append(rows, r)
+		regressed = regressed || r.regressed
+	}
 	render(os.Stdout, rows, *md, *timeRatio, *allocRatio)
 	if regressed {
 		fmt.Fprintln(os.Stderr, "benchcmp: REGRESSION against baseline")
@@ -327,6 +341,61 @@ func compareSeries(id string, base, cur series, g gates) row {
 	}
 	r.status = strings.Join(statuses, "; ")
 	return r
+}
+
+// clusterOverheadGate checks the absolute distributed-apply budget: the
+// geometric mean over the fresh run's cluster sweep of Cluster2w's cost
+// relative to SingleProc's must stay under limit. Both series come from
+// the SAME run on the same host, so the ratio is immune to runner-speed
+// drift; it moves only when the protocol itself gets cheaper or dearer.
+// Returns ok=false when the gate has nothing to say (disabled, or the run
+// didn't include the cluster experiment); a cluster experiment that LOST
+// one of the two series fails — that's the gate's coverage disappearing.
+func clusterOverheadGate(cur map[string]experiment, limit float64) (row, bool) {
+	if limit <= 0 {
+		return row{}, false
+	}
+	c, ok := cur["cluster"]
+	if !ok {
+		return row{}, false
+	}
+	r := row{id: "cluster", name: "Cluster2w/SingleProc", timeRatio: math.NaN(), allocRatio: math.NaN()}
+	var single, dist *series
+	for i := range c.Series {
+		switch c.Series[i].Name {
+		case "SingleProc":
+			single = &c.Series[i]
+		case "Cluster2w":
+			dist = &c.Series[i]
+		}
+	}
+	if single == nil || dist == nil {
+		r.status = "OVERHEAD GATE LOST ITS SERIES (need SingleProc and Cluster2w)"
+		r.regressed = true
+		return r, true
+	}
+	logSum, counted := 0.0, 0
+	for i := 0; i < len(single.NsPerOp) && i < len(dist.NsPerOp); i++ {
+		if single.NsPerOp[i] <= 0 || dist.NsPerOp[i] <= 0 {
+			continue
+		}
+		logSum += math.Log(dist.NsPerOp[i] / single.NsPerOp[i])
+		counted++
+	}
+	if counted == 0 {
+		r.status = "OVERHEAD GATE HAS NO COMPARABLE POINTS"
+		r.regressed = true
+		return r, true
+	}
+	r.points = counted
+	r.timeRatio = math.Exp(logSum / float64(counted))
+	if r.timeRatio > limit {
+		r.status = fmt.Sprintf("CLUSTER OVERHEAD REGRESSION (%.2fx > %.2fx geomean)", r.timeRatio, limit)
+		r.regressed = true
+	} else {
+		r.status = fmt.Sprintf("overhead ok (%.2fx ≤ %.2fx geomean)", r.timeRatio, limit)
+	}
+	return r, true
 }
 
 // render prints the comparison table.

@@ -217,6 +217,49 @@ func TestCompareZeroedTimingsFail(t *testing.T) {
 	}
 }
 
+func TestClusterOverheadGate(t *testing.T) {
+	// Within budget: 2x overhead at every point against a 2.5x limit.
+	cur := parseLines(t, `{"id":"cluster","points":["5%","10%"],"series":[{"name":"SingleProc","ns_per_op":[1000,2000]},{"name":"Cluster2w","ns_per_op":[2000,4000]}]}
+`)
+	r, ok := clusterOverheadGate(cur, 2.5)
+	if !ok || r.regressed {
+		t.Fatalf("2x overhead failed the 2.5x gate: ok=%v %+v", ok, r)
+	}
+	if r.timeRatio < 1.99 || r.timeRatio > 2.01 {
+		t.Fatalf("geomean overhead %v, want ~2.0", r.timeRatio)
+	}
+	// Over budget: the pre-pipelining 5.35x world must fail loudly.
+	cur = parseLines(t, `{"id":"cluster","points":["5%","10%"],"series":[{"name":"SingleProc","ns_per_op":[1000,2000]},{"name":"Cluster2w","ns_per_op":[5300,10800]}]}
+`)
+	r, ok = clusterOverheadGate(cur, 2.5)
+	if !ok || !r.regressed || !strings.Contains(r.status, "CLUSTER OVERHEAD REGRESSION") {
+		t.Fatalf("5.4x overhead passed the 2.5x gate: ok=%v %+v", ok, r)
+	}
+	// The gate is absolute, not differential: one blown point is absorbed
+	// by the geomean the same way the wall-clock gate absorbs noise.
+	cur = parseLines(t, `{"id":"cluster","points":["5%","10%"],"series":[{"name":"SingleProc","ns_per_op":[1000,2000]},{"name":"Cluster2w","ns_per_op":[5000,2000]}]}
+`)
+	if r, _ := clusterOverheadGate(cur, 2.5); r.regressed {
+		t.Fatalf("single noisy point failed the geomean overhead gate: %+v", r)
+	}
+	// No cluster experiment in the run: the gate stays silent (the
+	// baseline-coverage check is compare()'s job, not this one's).
+	if _, ok := clusterOverheadGate(parseLines(t, baseJSON), 2.5); ok {
+		t.Fatal("overhead gate fired without a cluster experiment")
+	}
+	// Zero limit disables.
+	if _, ok := clusterOverheadGate(cur, 0); ok {
+		t.Fatal("overhead gate fired with a zero limit")
+	}
+	// A cluster experiment that lost one of the two series is dropped
+	// coverage of this gate, not an exemption.
+	cur = parseLines(t, `{"id":"cluster","points":["5%"],"series":[{"name":"Cluster2w","ns_per_op":[2000]}]}
+`)
+	if r, ok := clusterOverheadGate(cur, 2.5); !ok || !r.regressed {
+		t.Fatalf("cluster run without SingleProc passed the overhead gate: ok=%v %+v", ok, r)
+	}
+}
+
 func TestRenderMarkdown(t *testing.T) {
 	base := parseLines(t, baseJSON)
 	cur := parseLines(t, baseJSON)

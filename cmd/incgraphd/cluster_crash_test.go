@@ -155,7 +155,7 @@ func TestClusterCrashRecovery(t *testing.T) {
 	w1.Wait()
 	killed := nextBurst()
 	stage(cc, killed)
-	if reply := cc.raw(t, "commit"); !strings.HasPrefix(reply, "err commit") {
+	if reply := cc.raw(t, "commit"); !strings.HasPrefix(reply, "err staged: commit failed") {
 		t.Fatalf("commit with a dead worker replied %q, want err", reply)
 	}
 

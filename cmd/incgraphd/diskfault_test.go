@@ -116,7 +116,7 @@ func TestDiskDegradationReadOnlyCycle(t *testing.T) {
 	defer c.close()
 	c.cmd(t, "+ 9000 9001 z z")
 	reply := c.raw(t, "commit")
-	if !strings.HasPrefix(reply, "err disk degraded; read-only") {
+	if !strings.HasPrefix(reply, "err disk: degraded; read-only") {
 		t.Fatalf("commit under dead disk replied %q, want disk-degraded shed", reply)
 	}
 	if got := srv.diskState.Load(); got != diskReadOnly {

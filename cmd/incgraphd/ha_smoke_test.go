@@ -164,7 +164,7 @@ func TestStandbyFailoverSmoke(t *testing.T) {
 		t.Fatalf("standby replica read diverged mid-stream\nstandby:\n%s\nsingle:\n%s", got, want)
 	}
 	bc.cmd(t, fmt.Sprintf("+ %d %d x y", scratch.MaxNodeID()+1, scratch.MaxNodeID()+2))
-	if reply := bc.raw(t, "commit"); !strings.HasPrefix(reply, "err standby is read-only") {
+	if reply := bc.raw(t, "commit"); !strings.HasPrefix(reply, "err fenced: standby is read-only") {
 		t.Fatalf("standby accepted a commit: %q", reply)
 	}
 	bc.cmd(t, "abort")
@@ -197,7 +197,7 @@ func TestStandbyFailoverSmoke(t *testing.T) {
 			t.Fatalf("promote reply %q missing %q", reply, field)
 		}
 	}
-	if reply := bc.raw(t, "promote"); !strings.HasPrefix(reply, "err already primary") {
+	if reply := bc.raw(t, "promote"); !strings.HasPrefix(reply, "err fenced: already primary") {
 		t.Fatalf("second promote replied %q", reply)
 	}
 	for burst := 0; burst < 3; burst++ {

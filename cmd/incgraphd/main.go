@@ -43,9 +43,9 @@
 // fans out to the workers in parallel, and only after every worker
 // acknowledged does the usual durable path run, so answers are
 // byte-identical to a single-process daemon. A worker crash fails the
-// in-flight commit atomically ("err commit: ..."); once the worker is
-// back on its address, the next commit reattaches it and re-ships its
-// shards from the authoritative graph.
+// in-flight commit atomically ("err staged: commit failed: ..."); once
+// the worker is back on its address, the next commit reattaches it and
+// re-ships its shards from the authoritative graph.
 //
 // # High availability
 //
@@ -60,15 +60,18 @@
 // and a redirect (never a stale answer) if the replica diverged from a
 // live primary. When the primary is gone, "promote" on the standby
 // attaches a coordinator at term+1 over its -cluster workers: every shard
-// is re-placed, the deposed primary's sessions are fenced ("err commit:
-// ... fenced"), and answers continue byte-identical to an uninterrupted
-// run. "health" reports role, term, and tail state without polling
-// workers.
+// is re-placed, the deposed primary's sessions are fenced ("err fenced:
+// commit rejected: ..."), and answers continue byte-identical to an
+// uninterrupted run. "health" reports role, term, and tail state without
+// polling workers.
 //
 // The protocol is line-oriented over TCP — one command per line, one
 // "ok ..."/"err ..." reply line (answer dumps are multi-line, dot-
-// terminated). Updates are staged per connection and applied atomically
-// on commit:
+// terminated). Error replies follow a fixed grammar, "err <category>:
+// <detail>", with a closed category enum clients dispatch on —
+// overloaded, disk, fenced, staged, idle, proto (see the server's
+// errCategory documentation for the recovery action each implies).
+// Updates are staged per connection and applied atomically on commit:
 //
 //	"+ v w [vlabel wlabel]"  stage an edge insertion (labels for new nodes)
 //	"- v w"                  stage an edge deletion
@@ -108,7 +111,7 @@
 // explicitly. A failed WAL append is retried with capped backoff (the
 // WAL rolls back on failure, so nothing is acknowledged that is not
 // durable); a disk that keeps failing flips the daemon into advertised
-// read-only mode — commits shed with "err disk degraded; read-only"
+// read-only mode — commits shed with "err disk: degraded; read-only"
 // while reads keep answering — and a background probe flips it back to
 // healthy the moment appends work again, with no restart. "stat" and
 // "health" expose disk=healthy|retrying|read-only plus retry and
@@ -551,15 +554,18 @@ func run(cfg config) error {
 			}
 			links = append(links, link)
 		}
-		clOpts := incgraph.ClusterOptions{Term: cfg.term, Repl: repl}
+		clOpts := []incgraph.ClusterOption{
+			incgraph.WithClusterTerm(cfg.term),
+			incgraph.WithReplication(repl),
+		}
 		if hub != nil {
 			// In cluster mode the coordinator's post-commit hook runs the
 			// standby feed in commit order while the batch's shards are
 			// still held; its sequence numbering matches feedSeq (both
 			// count exactly the successful commits).
-			clOpts.OnCommit = hub.Feed
+			clOpts = append(clOpts, incgraph.WithOnCommit(hub.Feed))
 		}
-		cl, err := incgraph.NewClusterWith(d.Graph(), links, clOpts)
+		cl, err := incgraph.NewCluster(d.Graph(), links, clOpts...)
 		if err != nil {
 			stopSpawned()
 			return err

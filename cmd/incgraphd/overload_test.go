@@ -94,7 +94,7 @@ func TestStagedCapRefusesWithoutCorruptingBatch(t *testing.T) {
 		c.cmd(t, fmt.Sprintf("+ %d %d a a", 9000+2*i, 9001+2*i))
 	}
 	reply := c.raw(t, "+ 9100 9101 a a")
-	if !strings.Contains(reply, "err staged limit 3") {
+	if !strings.Contains(reply, "err staged: limit 3") {
 		t.Fatalf("over-cap stage reply = %q, want staged-limit error", reply)
 	}
 	if got := srv.stagedShed.Load(); got != 1 {
@@ -128,7 +128,7 @@ func TestOversizedLineRepliedBeforeCut(t *testing.T) {
 	if err != nil {
 		t.Fatalf("oversized line: want an explicit reply before the cut, got %v", err)
 	}
-	if !strings.Contains(reply, "err line too long") {
+	if !strings.Contains(reply, "err proto: line too long") {
 		t.Fatalf("oversized-line reply = %q, want 'err line too long'", reply)
 	}
 	// EOF or RST (the server closes with our junk still unread), never

@@ -112,7 +112,7 @@ type server struct {
 	// the matrix row). The commit path moves diskState healthy→retrying
 	// when a WAL append fails and retries with capped backoff; a
 	// persistently failing disk flips the daemon read-only — commits shed
-	// with "err disk degraded; read-only" while reads keep answering from
+	// with "err disk: degraded; read-only" while reads keep answering from
 	// the in-memory state — and a background probe flips it back to
 	// healthy the moment the append path works again. Retry and probe
 	// tuning are fields, not constants, so drills run in milliseconds.
@@ -129,9 +129,49 @@ type server struct {
 }
 
 // maxLineBytes caps one protocol line (the scanner buffer limit). A line
-// past it is answered with "err line too long" and the connection is cut:
-// the stream cannot be resynchronized mid-line.
+// past it is answered with "err proto: line too long" and the connection
+// is cut: the stream cannot be resynchronized mid-line.
 const maxLineBytes = 1 << 20
+
+// Error-reply grammar. Every error reply is one line of the form
+//
+//	err <category>: <detail>
+//
+// where <category> is a closed enum clients dispatch on; the detail text
+// is human-oriented and may change between releases, the categories do
+// not. Each category implies one recovery action:
+//
+//	overloaded  shed by admission control; nothing changed; retry after
+//	            the hinted delay
+//	disk        durability degraded (read-only mode, or a disk operation
+//	            failed); nothing changed; retry after the hinted delay
+//	fenced      this node's role or authority cannot serve the request
+//	            (standby, deposed or stale replica, failed promotion) —
+//	            redirect to the primary or promote, retrying here is
+//	            useless
+//	staged      the staging area refused the request, or the staged
+//	            batch was rejected at commit and dropped — fix the batch
+//	            and re-stage
+//	idle        the per-line read deadline expired; the connection is cut
+//	proto       the request could not be served as issued — malformed,
+//	            unknown, inapplicable to this deployment, or an admin
+//	            operation that failed without tripping the disk or
+//	            admission machinery
+type errCategory string
+
+const (
+	catOverloaded errCategory = "overloaded"
+	catDisk       errCategory = "disk"
+	catFenced     errCategory = "fenced"
+	catStaged     errCategory = "staged"
+	catIdle       errCategory = "idle"
+	catProto      errCategory = "proto"
+)
+
+// replyErr sends one grammar-conformant error reply.
+func replyErr(reply func(string, ...any) bool, cat errCategory, format string, args ...any) bool {
+	return reply("err %s: %s", cat, fmt.Sprintf(format, args...))
+}
 
 // Cluster-stat cache tuning: results are fresh for statTTL; refresh polls
 // run in parallel across workers with statPollTimeout each.
@@ -379,14 +419,14 @@ func (s *server) handle(conn net.Conn) {
 		case "+", "-":
 			u, err := parseUpdate(fields)
 			if err != nil {
-				if !reply("err %v", err) {
+				if !replyErr(reply, catProto, "%v", err) {
 					return
 				}
 				continue
 			}
 			if s.lim.maxStaged > 0 && len(pending) >= s.lim.maxStaged {
 				s.stagedShed.Add(1)
-				if !reply("err staged limit %d reached: commit or abort first", s.lim.maxStaged) {
+				if !replyErr(reply, catStaged, "limit %d reached; commit or abort first", s.lim.maxStaged) {
 					return
 				}
 				continue
@@ -413,7 +453,7 @@ func (s *server) handle(conn net.Conn) {
 			}
 		case "query", "answer":
 			if len(fields) != 2 {
-				if !reply("err usage: %s CLASS", fields[0]) {
+				if !replyErr(reply, catProto, "usage: %s CLASS", fields[0]) {
 					return
 				}
 				continue
@@ -451,7 +491,7 @@ func (s *server) handle(conn net.Conn) {
 			epoch := s.epoch.Load()
 			s.commitMu.Unlock()
 			if err != nil {
-				if !reply("err checkpoint: %v", err) {
+				if !replyErr(reply, catDisk, "checkpoint failed: %v", err) {
 					return
 				}
 				continue
@@ -463,7 +503,7 @@ func (s *server) handle(conn net.Conn) {
 			reply("ok bye")
 			return
 		default:
-			if !reply("err unknown command %q", fields[0]) {
+			if !replyErr(reply, catProto, "unknown command %q", fields[0]) {
 				return
 			}
 		}
@@ -477,14 +517,14 @@ func (s *server) handle(conn net.Conn) {
 		// The stream cannot be resynchronized mid-line, so the connection
 		// must die — but with an explicit reply first, not a silent cut.
 		s.linesTooLong.Add(1)
-		reply("err line too long: max %d bytes per line", maxLineBytes)
+		replyErr(reply, catProto, "line too long; max %d bytes per line", maxLineBytes)
 	default:
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
 			// Per-line read deadline: idle or slow-loris. The read side is
 			// dead but the write side usually is not; say why we hung up.
 			s.idleDrops.Add(1)
-			reply("err idle timeout: no complete line in %v", s.lim.idle)
+			replyErr(reply, catIdle, "no complete line in %v", s.lim.idle)
 		}
 	}
 }
@@ -505,23 +545,23 @@ func (s *server) handle(conn net.Conn) {
 // retry works); alive is false when the connection died mid-reply.
 func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (shed, alive bool) {
 	if len(batch) == 0 {
-		return false, reply("err nothing staged")
+		return false, replyErr(reply, catStaged, "nothing staged")
 	}
 	s.mu.RLock()
 	role, cl, hub := s.role, s.cl, s.hub
 	s.mu.RUnlock()
 	if role == roleStandby {
-		return false, reply("err standby is read-only: promote to accept commits")
+		return false, replyErr(reply, catFenced, "standby is read-only; promote to accept commits")
 	}
 	// Read-only disk mode sheds before admission: the batch stays staged
 	// (a bare "commit" retry works once the probe heals the disk) and the
 	// gate's slots stay free for the probe-driven recovery.
 	if s.diskState.Load() == diskReadOnly {
 		s.diskShed.Add(1)
-		return true, reply("err disk degraded; read-only: retry in %dms", retryHintMS)
+		return true, replyErr(reply, catDisk, "degraded; read-only; retry in %dms", retryHintMS)
 	}
 	if s.commitGate.enter() != nil {
-		return true, reply("err overloaded: commit queue full; retry in %dms", retryHintMS)
+		return true, replyErr(reply, catOverloaded, "commit queue full; retry in %dms", retryHintMS)
 	}
 	defer s.commitGate.exit()
 	var deadline time.Time
@@ -533,18 +573,24 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 		err  error
 	)
 	var preGen, gen, seq uint64
-	// durableApply is the commit step; the caller must hold commitMu
-	// (directly, or around the coordinator's commit callback). Only the
-	// in-memory apply is read-exclusive.
-	durableApply := func(b incgraph.Batch) error {
-		preGen = s.d.Generation()
-		if lerr := s.logWithRetry(b); lerr != nil {
+	// Both deployment shapes drive Durable.Commit through the same two
+	// hooks. logHook swaps the bare WAL append for the disk-degradation
+	// retry loop; applyHook wraps the in-memory apply with the read lock,
+	// the hub's feed numbering, and the auto-checkpoint. Neither takes
+	// commitMu itself: the cluster case wraps each in it (the coordinator
+	// calls them at separate points of its pipelined schedule), the local
+	// case holds it around the whole Commit call.
+	logHook := func(b incgraph.Batch, genAt uint64) error {
+		preGen = genAt
+		if lerr := s.logWithRetry(b, genAt); lerr != nil {
 			s.syncDurableMeta()
 			return lerr
 		}
+		return nil
+	}
+	applyHook := func(apply func() error) error {
 		s.mu.Lock()
-		var aerr error
-		sums, aerr = s.d.ApplyLogged(b)
+		aerr := apply()
 		if aerr == nil && hub != nil {
 			// Numbered inside the critical section so the hub's snapshot
 			// callback sees seq and graph state move together.
@@ -568,32 +614,47 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 	}
 	switch {
 	case cl != nil:
-		// Cluster mode: the coordinator's OnCommit hook (wired to the
-		// hub's Feed in main) runs the standby feed in commit order while
-		// the batch's shards are still held. The per-op deadline caps both
-		// the shard-admission wait and the phase-1 remote round trips.
-		err = cl.ApplyDeadline(batch, deadline, func(b incgraph.Batch) error {
-			s.commitMu.Lock()
-			defer s.commitMu.Unlock()
-			return durableApply(b)
+		// Cluster mode: the coordinator plans and validates the batch,
+		// pipelines the WAL append (logHook) alongside phase 1, and calls
+		// the apply hook inside its serialized commit section — where its
+		// OnCommit hook (wired to the hub's Feed in main) runs the standby
+		// feed in commit order while the batch's shards are still held.
+		// The coordinator's log mutex serializes logHook-through-applyHook
+		// windows across batches, so taking commitMu separately in each
+		// hook cannot invert WAL order against commit order. The per-op
+		// deadline caps both the shard-admission wait and the phase-1
+		// remote round trips.
+		sums, err = s.d.Commit(batch, incgraph.ApplyOptions{
+			Via:      cl,
+			Deadline: deadline,
+			Log: func(b incgraph.Batch, genAt uint64) error {
+				s.commitMu.Lock()
+				defer s.commitMu.Unlock()
+				return logHook(b, genAt)
+			},
+			Exclusive: func(apply func() error) error {
+				s.commitMu.Lock()
+				defer s.commitMu.Unlock()
+				return applyHook(apply)
+			},
 		})
 		if errors.Is(err, incgraph.ErrClusterOverloaded) {
 			s.clusterShed.Add(1)
-			return true, reply("err overloaded: shards busy past the op deadline; retry in %dms", retryHintMS)
+			return true, replyErr(reply, catOverloaded, "shards busy past the op deadline; retry in %dms", retryHintMS)
 		}
-	case hub != nil:
-		// Single-process primary with standbys: feed after the apply, in
-		// commit order (commitMu — s.mu alone would let two committers'
-		// post-unlock feeds invert).
+	default:
+		// Single process: commitMu around the whole validate+log+apply
+		// keeps WAL order equal to commit order, and (with standbys) the
+		// post-apply feed in commit order too — s.mu alone would let two
+		// committers' post-unlock feeds invert.
 		s.commitMu.Lock()
-		err = durableApply(batch)
-		if err == nil {
+		sums, err = s.d.Commit(batch, incgraph.ApplyOptions{
+			Log:       logHook,
+			Exclusive: applyHook,
+		})
+		if err == nil && hub != nil {
 			hub.Feed(seq, preGen, gen, batch)
 		}
-		s.commitMu.Unlock()
-	default:
-		s.commitMu.Lock()
-		err = durableApply(batch)
 		s.commitMu.Unlock()
 	}
 	if err != nil {
@@ -603,13 +664,18 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 			// shed like the ones the read-only check above refuses: the
 			// batch stays staged and the same reply tells the client why.
 			s.diskShed.Add(1)
-			return true, reply("err disk degraded; read-only: retry in %dms", retryHintMS)
+			return true, replyErr(reply, catDisk, "degraded; read-only; retry in %dms", retryHintMS)
+		}
+		if errors.Is(err, incgraph.ErrClusterFenced) {
+			// A worker at a higher fencing term refused phase 1: this
+			// coordinator was deposed. The batch was not applied anywhere.
+			return false, replyErr(reply, catFenced, "commit rejected: %v", err)
 		}
 		if !errors.Is(err, incgraph.ErrBadUpdate) {
 			s.commitErrs.Add(1)
 			log.Printf("commit failed: %v", err)
 		}
-		return false, reply("err commit: %v", err)
+		return false, replyErr(reply, catStaged, "commit failed: %v", err)
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "ok applied %d gen=%d", len(batch), gen)
@@ -626,12 +692,13 @@ func (s *server) commit(batch incgraph.Batch, reply func(string, ...any) bool) (
 // returns errDiskDegraded. Nothing is acknowledged unless the append
 // truly succeeded — the WAL itself rolls back seq and truncates on
 // failure, so "acked ⇒ durable" holds across every retry. The caller
-// holds commitMu; validation failures (ErrBadUpdate) are the client's
-// error and are never retried.
-func (s *server) logWithRetry(b incgraph.Batch) error {
-	err := s.d.Log(b)
-	if err == nil || errors.Is(err, incgraph.ErrBadUpdate) {
-		return err
+// holds commitMu and has already validated the batch (Durable.Commit
+// plans or validates before its Log hook runs), so the append is
+// LogPlanned with the caller's generation stamp.
+func (s *server) logWithRetry(b incgraph.Batch, gen uint64) error {
+	err := s.d.LogPlanned(b, gen)
+	if err == nil {
+		return nil
 	}
 	backoff := s.diskBackoff
 	for attempt := 1; attempt < s.diskRetryMax; attempt++ {
@@ -652,9 +719,9 @@ func (s *server) logWithRetry(b incgraph.Batch) error {
 				continue
 			}
 		}
-		if err = s.d.Log(b); err == nil || errors.Is(err, incgraph.ErrBadUpdate) {
+		if err = s.d.LogPlanned(b, gen); err == nil {
 			s.diskState.CompareAndSwap(diskRetrying, diskHealthy)
-			return err
+			return nil
 		}
 	}
 	s.enterReadOnly(err)
@@ -719,14 +786,14 @@ func (s *server) read(cmd, class string, conn net.Conn, out *bufio.Writer, reply
 	// durable generation when the primary is gone — but a replica that
 	// diverged from a live primary redirects instead of answering wrong.
 	if s.tail.Load() == tailStale {
-		return reply("err stale replica: redirect %s", s.primaryAddr)
+		return replyErr(reply, catFenced, "stale replica; redirect %s", s.primaryAddr)
 	}
 	m, ok := s.byClass[class]
 	if !ok {
-		return reply("err no standing query for class %q", class)
+		return replyErr(reply, catProto, "no standing query for class %q", class)
 	}
 	if s.readGate.enter() != nil {
-		return reply("err overloaded: read queue full; retry in %dms", retryHintMS)
+		return replyErr(reply, catOverloaded, "read queue full; retry in %dms", retryHintMS)
 	}
 	s.mu.RLock()
 	size := m.Size()
@@ -897,11 +964,11 @@ func (s *server) health(reply func(string, ...any) bool) bool {
 func (s *server) scrub(reply func(string, ...any) bool) bool {
 	cl := s.cluster()
 	if cl == nil {
-		return reply("err scrub: not in cluster mode")
+		return replyErr(reply, catProto, "scrub: not in cluster mode")
 	}
 	rep, err := cl.Scrub()
 	if err != nil {
-		return reply("err scrub: %v", err)
+		return replyErr(reply, catProto, "scrub failed: %v", err)
 	}
 	return reply("ok scrub checked=%d skipped=%d mismatches=%d heals=%d",
 		rep.Checked, rep.Skipped, rep.Mismatches, rep.Heals)
@@ -913,18 +980,18 @@ func (s *server) scrub(reply func(string, ...any) bool) bool {
 func (s *server) move(fields []string, reply func(string, ...any) bool) bool {
 	cl := s.cluster()
 	if cl == nil {
-		return reply("err move: not in cluster mode")
+		return replyErr(reply, catProto, "move: not in cluster mode")
 	}
 	if len(fields) != 3 {
-		return reply("err usage: move SHARD WORKER")
+		return replyErr(reply, catProto, "usage: move SHARD WORKER")
 	}
 	shard, err1 := strconv.Atoi(fields[1])
 	w, err2 := strconv.Atoi(fields[2])
 	if err1 != nil || err2 != nil {
-		return reply("err usage: move SHARD WORKER")
+		return replyErr(reply, catProto, "usage: move SHARD WORKER")
 	}
 	if err := cl.MoveShard(shard, w); err != nil {
-		return reply("err move: %v", err)
+		return replyErr(reply, catProto, "move failed: %v", err)
 	}
 	return reply("ok moved shard=%d worker=%d", shard, w)
 }
@@ -943,7 +1010,7 @@ func (s *server) promote(reply func(string, ...any) bool) bool {
 	s.mu.Lock()
 	if s.role != roleStandby {
 		s.mu.Unlock()
-		return reply("err already primary")
+		return replyErr(reply, catFenced, "already primary")
 	}
 	// Cut the tail first so a live feed cannot race the role flip; the
 	// apply callback also rejects feeds once the role is primary.
@@ -956,20 +1023,19 @@ func (s *server) promote(reply func(string, ...any) bool) bool {
 		link, err := incgraph.DialClusterWorker(a)
 		if err != nil {
 			s.mu.Unlock()
-			return reply("err promote: worker %s: %v", a, err)
+			return replyErr(reply, catFenced, "promote failed: worker %s: %v", a, err)
 		}
 		links = append(links, link)
 	}
 	if len(links) > 0 {
-		cl, err := incgraph.NewClusterWith(s.d.Graph(), links, incgraph.ClusterOptions{
-			Term: term, Repl: s.repl,
-		})
+		cl, err := incgraph.NewCluster(s.d.Graph(), links,
+			incgraph.WithClusterTerm(term), incgraph.WithReplication(s.repl))
 		if err != nil {
 			for _, l := range links {
 				l.Conn.Close()
 			}
 			s.mu.Unlock()
-			return reply("err promote: %v", err)
+			return replyErr(reply, catFenced, "promote failed: %v", err)
 		}
 		s.cl = cl
 	}

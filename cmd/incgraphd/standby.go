@@ -132,14 +132,19 @@ func runStandby(args []string) error {
 				// replica is authoritative now, the old feed is history.
 				return fmt.Errorf("promoted; feed rejected")
 			}
-			if err := srv.d.Log(b); err != nil {
-				srv.syncDurableMeta()
-				return err
-			}
-			srv.mu.Lock()
-			_, err := srv.d.ApplyLogged(b)
-			gen := srv.d.Generation()
-			srv.mu.Unlock()
+			// Commit with the default log step (validate + append) and the
+			// read lock around the in-memory apply; commitMu above covers
+			// the whole call, so the WAL fsync stays off the read lock.
+			var gen uint64
+			_, err := srv.d.Commit(b, incgraph.ApplyOptions{
+				Exclusive: func(apply func() error) error {
+					srv.mu.Lock()
+					defer srv.mu.Unlock()
+					aerr := apply()
+					gen = srv.d.Generation()
+					return aerr
+				},
+			})
 			srv.syncDurableMeta()
 			if err != nil {
 				return err

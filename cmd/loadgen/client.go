@@ -217,12 +217,31 @@ func (w *worker) readReply(op string) (string, error) {
 	return strings.TrimSpace(line), nil
 }
 
-// isShed recognizes the daemon's explicit degradation replies: overload
-// shedding and disk-degraded read-only mode. Both keep a staged batch
-// and both mean "the contract held", never a failure.
+// replyCategory extracts <category> from the daemon's machine-parseable
+// error grammar, "err <category>: <detail>"; non-error and malformed
+// replies yield "".
+func replyCategory(reply string) string {
+	rest, ok := strings.CutPrefix(reply, "err ")
+	if !ok {
+		return ""
+	}
+	cat, _, ok := strings.Cut(rest, ":")
+	if !ok {
+		return ""
+	}
+	return strings.TrimSpace(cat)
+}
+
+// isShed recognizes the daemon's explicit degradation replies by
+// category: overload shedding and disk-degraded read-only mode. Both
+// keep a staged batch and both mean "the contract held", never a
+// failure.
 func isShed(reply string) bool {
-	return strings.HasPrefix(reply, "err overloaded") ||
-		strings.HasPrefix(reply, "err disk degraded")
+	switch replyCategory(reply) {
+	case "overloaded", "disk":
+		return true
+	}
+	return false
 }
 
 // op runs one operation of the given class. It returns shed=true when the

@@ -87,7 +87,7 @@ func runFailover(env *runEnv, opts runOpts, logf func(string, ...any)) (string, 
 			promoted = reply
 			break
 		}
-		if err == nil && strings.HasPrefix(reply, "err already primary") {
+		if err == nil && replyCategory(reply) == "fenced" && strings.Contains(reply, "already primary") {
 			promoted = reply // a retried promote raced its own success
 			break
 		}

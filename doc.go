@@ -156,11 +156,30 @@
 //     segments before its next use; a restarted worker is reattached and
 //     rebuilt the same way. Batches whose TouchedShards sets are disjoint
 //     are routed concurrently.
+//   - One write path. Durable.Commit(b, ApplyOptions{...}) is the single
+//     apply entry point, local and distributed: the zero ApplyOptions is
+//     the plain durable apply, Via routes the batch through a Cluster,
+//     Deadline carries the serving layer's per-op budget, and the
+//     Log/Exclusive hooks splice in the serving tier's degradation and
+//     read-exclusion policies. The older Durable.Apply/ApplyVia and
+//     Cluster construction variants remain as deprecated wrappers over
+//     this path.
+//   - Pipelined commit. The distributed hop prices close to the local
+//     one (the benchcmp gate pins the 2-worker/single-process geomean)
+//     because the protocol ships the already-validated plan zero-copy —
+//     effects encode straight off the planner's pooled state, and
+//     interned label tables travel once per session as deltas — overlaps
+//     the WAL append with the phase-1 round trips (log order still equals
+//     commit order, so the WAL bytes are identical to the serial path),
+//     and coalesces concurrent batches' shares into one frame per worker
+//     (group commit). WithSerialLog and WithNoCoalesce revert each leg
+//     for differential testing; the pipelined-vs-serial tests pin
+//     byte-identical answers and WAL files across all combinations.
 //
 // # High availability
 //
 // Three layers make the cluster survive the loss of any process
-// (NewClusterWith, ClusterHub/ClusterStandby, ClusterReplStates):
+// (NewCluster options, ClusterHub/ClusterStandby, ClusterReplStates):
 //
 //   - Log shipping. With ClusterOptions.Repl set to ReplAsync or
 //     ReplQuorum, the coordinator streams every committed batch's WAL

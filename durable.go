@@ -3,6 +3,7 @@ package incgraph
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"incgraph/internal/store"
 )
@@ -150,28 +151,135 @@ func (d *Durable) applyAll(b Batch) error {
 	return nil
 }
 
-// Apply validates b, appends it to the write-ahead log, and applies it to
-// the base graph and every attached engine, returning the per-engine
-// summaries in attach order. Validation happens before the append, so a
-// logged batch is always replayable and a rejected batch changes nothing.
-func (d *Durable) Apply(b Batch) ([]DeltaSummary, error) {
-	if err := d.Log(b); err != nil {
-		return nil, err
-	}
-	return d.ApplyLogged(b)
+// ApplyOptions routes one Commit. The zero value is the plain local
+// durable apply: validate, WAL-append, apply to the base graph and every
+// attached engine.
+type ApplyOptions struct {
+	// Via, when non-nil, runs the batch through the cluster's distributed
+	// two-phase protocol: phase 1 fans the planned effects out to the
+	// shard workers, the WAL append overlaps those round trips (pipelined
+	// by the coordinator, which keeps log order equal to commit order and
+	// the WAL bytes identical to the local path), and only after every
+	// worker acknowledged does the local application run. A worker
+	// failure aborts atomically — the logged record is durably taken back
+	// and nothing is applied.
+	Via *Cluster
+	// Deadline is the serving layer's per-op budget, used by the cluster
+	// path: it bounds the shard-admission wait (expiry sheds the batch
+	// with ErrClusterOverloaded, nothing applied anywhere) and caps every
+	// phase-1 round trip. Zero means no budget; ignored without Via.
+	Deadline time.Time
+	// Log, when set, replaces the WAL-append step. It receives the batch
+	// (already validated) and the generation stamp the record should
+	// carry, and must append exactly one record per successful return —
+	// d.LogPlanned is the default it replaces. Serving layers hook their
+	// disk-degradation retry loops here.
+	Log func(b Batch, gen uint64) error
+	// Exclusive, when set, wraps the in-memory application: Commit calls
+	// it with the apply step, and it must run that function under
+	// whatever write-exclusion the caller's readers respect. The WAL
+	// append stays outside it, so a stalled fsync backs up writers, never
+	// readers. Nil applies directly.
+	Exclusive func(apply func() error) error
 }
 
-// Log is the first half of Apply: validate b and append it to the
-// write-ahead log (fsynced per the SyncPolicy) without applying it. It
-// exists so a serving layer can keep the disk wait outside its
-// read-exclusion window — Log while readers proceed, then ApplyLogged
-// under the exclusive lock — and a stalled fsync backs up writers, never
-// readers. The caller must serialize Log/ApplyLogged pairs against each
-// other and against Apply and Checkpoint (a second Log before the first
-// batch's ApplyLogged would validate against — and log — the wrong base
-// state); readers may run concurrently with Log, since it only reads the
-// graph. A crash between Log and ApplyLogged is safe: recovery replays
-// the logged batch exactly as if the crash had hit mid-Apply.
+// Commit is the single write path: it validates b, appends it to the
+// write-ahead log, and applies it to the base graph and every attached
+// engine, returning the per-engine summaries in attach order — locally,
+// or through a cluster when opts.Via is set, with identical results and
+// identical WAL bytes. Validation happens before the append, so a logged
+// batch is always replayable and a rejected batch changes nothing.
+func (d *Durable) Commit(b Batch, opts ApplyOptions) ([]DeltaSummary, error) {
+	logFn := opts.Log
+	if logFn == nil {
+		logFn = d.LogPlanned
+	}
+	runExclusive := func(apply func() error) error {
+		if opts.Exclusive != nil {
+			return opts.Exclusive(apply)
+		}
+		return apply()
+	}
+	var sums []DeltaSummary
+	applyFn := func(bb Batch) error {
+		return runExclusive(func() error {
+			var aerr error
+			sums, aerr = d.ApplyLogged(bb)
+			return aerr
+		})
+	}
+	if opts.Via != nil {
+		// The coordinator validates by planning, orders the pipelined log
+		// appends, and supplies the generation stamp.
+		err := opts.Via.ApplyCommit(b, opts.Deadline, ClusterCommit{
+			Log:   logFn,
+			Unlog: d.Unlog,
+			Apply: applyFn,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sums, nil
+	}
+	if !d.replayed {
+		return nil, fmt.Errorf("incgraph: Apply before Recover: WAL replay pending")
+	}
+	if err := d.base.ValidateBatch(b); err != nil {
+		return nil, err
+	}
+	if err := logFn(b, d.base.Generation()); err != nil {
+		return nil, err
+	}
+	if err := applyFn(b); err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// Apply validates b, appends it to the write-ahead log, and applies it to
+// the base graph and every attached engine, returning the per-engine
+// summaries in attach order.
+//
+// Deprecated: Apply is Commit(b, ApplyOptions{}); use Commit.
+func (d *Durable) Apply(b Batch) ([]DeltaSummary, error) {
+	return d.Commit(b, ApplyOptions{})
+}
+
+// LogPlanned appends one already-validated batch to the write-ahead log
+// (fsynced per the SyncPolicy), stamped with gen — the default log step
+// of Commit. Callers are the coordinator's pipelined commit and serving
+// layers' ApplyOptions.Log hooks; both guarantee the batch was validated
+// against the state the stamp describes. For a standalone append with
+// validation, use Log.
+func (d *Durable) LogPlanned(b Batch, gen uint64) error {
+	if !d.replayed {
+		return fmt.Errorf("incgraph: Apply before Recover: WAL replay pending")
+	}
+	if err := d.st.Append(b, gen); err != nil {
+		return fmt.Errorf("incgraph: WAL append: %w", err)
+	}
+	return nil
+}
+
+// Unlog durably rolls back the latest LogPlanned/Log before any further
+// append: the record comes off the WAL's end as if never written. It is
+// the abort half of the cluster's pipelined commit — a batch whose
+// phase 1 fails after its record was logged must take the record back,
+// or recovery would replay a batch that never committed.
+func (d *Durable) Unlog() error {
+	return d.st.Unappend()
+}
+
+// Log validates b and appends it to the write-ahead log (fsynced per the
+// SyncPolicy) without applying it. The caller must serialize Log and the
+// following ApplyLogged against other writers and Checkpoint; readers
+// may run concurrently with Log, since it only reads the graph. A crash
+// between Log and ApplyLogged is safe: recovery replays the logged batch
+// exactly as if the crash had hit mid-Apply.
+//
+// Deprecated: use Commit — its ApplyOptions.Exclusive hook keeps the
+// disk wait outside the caller's read-exclusion window (the reason this
+// split existed), and ApplyOptions.Log replaces the append step itself.
 func (d *Durable) Log(b Batch) error {
 	if !d.replayed {
 		return fmt.Errorf("incgraph: Apply before Recover: WAL replay pending")
@@ -185,10 +293,11 @@ func (d *Durable) Log(b Batch) error {
 	return nil
 }
 
-// ApplyLogged is the second half of Apply: apply a batch Log just
-// appended to the base graph and every attached engine, returning the
-// per-engine summaries in attach order. See Log for the serialization
-// contract.
+// ApplyLogged applies a batch Log (or LogPlanned) just appended to the
+// base graph and every attached engine, returning the per-engine
+// summaries in attach order. See Log for the serialization contract. It
+// is the apply step Commit wraps in ApplyOptions.Exclusive; prefer
+// Commit unless you are building such a hook yourself.
 func (d *Durable) ApplyLogged(b Batch) ([]DeltaSummary, error) {
 	if err := d.base.ApplyBatch(b); err != nil {
 		// Unreachable after validation; surface loudly if it ever happens.

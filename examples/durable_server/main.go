@@ -68,7 +68,7 @@ func main() {
 		if err := scratch.ApplyBatch(events); err != nil {
 			log.Fatal(err)
 		}
-		sums, err := d.Apply(events) // WAL append + apply to every engine
+		sums, err := d.Commit(events, incgraph.ApplyOptions{}) // WAL append + apply to every engine
 		if err != nil {
 			log.Fatal(err)
 		}

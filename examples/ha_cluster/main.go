@@ -59,7 +59,7 @@ func main() {
 	// marks the planned shards dirty, and the retry heals them by parcel
 	// resync. The event log is deterministic: same seed + same traffic =
 	// same faults, which is how the CI chaos drills pin reproducibility.
-	links, _, stopWorkers := incgraph.InProcessCluster(2)
+	links, _, stopWorkers := incgraph.InProcessLinks(2)
 	defer stopWorkers()
 	faults := incgraph.NewFaultScript(42, incgraph.FaultRule{
 		Dir: incgraph.FaultOut, Frame: -1, Msg: incgraph.FaultMsgApply,
@@ -106,12 +106,12 @@ func main() {
 		time.Sleep(time.Millisecond)
 	}
 
-	primary, err := incgraph.NewClusterWith(primaryGraph, links, incgraph.ClusterOptions{
-		Term:        1,
-		Repl:        incgraph.ReplQuorum,
-		CallTimeout: 300 * time.Millisecond, // fail dropped frames fast
-		OnCommit:    hub.Feed,
-	})
+	primary, err := incgraph.NewCluster(primaryGraph, links,
+		incgraph.WithClusterTerm(1),
+		incgraph.WithReplication(incgraph.ReplQuorum),
+		incgraph.WithCallTimeout(300*time.Millisecond), // fail dropped frames fast
+		incgraph.WithOnCommit(hub.Feed),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -162,9 +162,10 @@ func main() {
 		}
 		promoted[i] = incgraph.ClusterLink{Conn: conn, Name: links[i].Name, Redial: links[i].Redial}
 	}
-	successor, err := incgraph.NewClusterWith(standbyGraph, promoted, incgraph.ClusterOptions{
-		Term: standby.Term() + 1, Repl: incgraph.ReplQuorum,
-	})
+	successor, err := incgraph.NewCluster(standbyGraph, promoted,
+		incgraph.WithClusterTerm(standby.Term()+1),
+		incgraph.WithReplication(incgraph.ReplQuorum),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

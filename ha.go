@@ -34,6 +34,9 @@ import (
 type (
 	// ClusterOptions tunes NewClusterWith: fencing term, replication
 	// policy, per-call deadline, commit hook.
+	//
+	// Deprecated: pass ClusterOption values (WithClusterTerm,
+	// WithReplication, ...) to NewCluster instead.
 	ClusterOptions = cluster.CoordinatorOptions
 	// ReplPolicy selects how Apply waits on replica acknowledgements.
 	ReplPolicy = cluster.ReplPolicy
@@ -84,9 +87,16 @@ const (
 // ErrLeaseExpired reports a standby that outlived its primary's lease.
 var ErrLeaseExpired = cluster.ErrLeaseExpired
 
-// NewClusterWith is NewCluster with explicit HA options: a fencing term, a
-// log-shipping policy, a per-call deadline, and an OnCommit hook (wire a
-// ClusterHub's Feed there to drive standbys).
+// ErrClusterFenced matches (errors.Is) commits refused because a worker
+// enforced a higher fencing term: this coordinator was deposed by a
+// promoted standby. Nothing was applied; the caller should redirect
+// clients to the new primary rather than retry.
+var ErrClusterFenced = cluster.ErrFenced
+
+// NewClusterWith is NewCluster with an explicit options struct.
+//
+// Deprecated: NewCluster is variadic — pass WithClusterTerm,
+// WithReplication, WithCallTimeout, WithOnCommit options instead.
 func NewClusterWith(g *Graph, links []ClusterLink, opts ClusterOptions) (*Cluster, error) {
 	return cluster.NewCoordinatorWith(g, links, opts)
 }

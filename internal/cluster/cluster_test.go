@@ -359,7 +359,7 @@ func TestWorkerRejectsProtocolGarbage(t *testing.T) {
 	}
 
 	// Apply before hello is a remote error too.
-	if err := writeFrame(client, encodeApply(nil)); err != nil {
+	if err := writeFrame(client, []byte{byte(msgApply)}); err != nil {
 		t.Fatal(err)
 	}
 	if payload, err = readFrame(client, maxFrame); err != nil {

@@ -2,9 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,9 +54,219 @@ type workerLink struct {
 	connMu sync.Mutex
 	conn   net.Conn
 	down   bool
+	// respBuf is the apply fast path's response scratch, guarded by mu
+	// (held for the whole round trip).
+	respBuf []byte
+	// applyQ coalesces concurrently admitted batches' phase-1 shares into
+	// group frames on this link.
+	applyQ applyQueue
 	// replQ is the ordered log-shipping queue (nil when replication is
 	// off); see replication.go.
 	replQ chan replJob
+}
+
+// applyCall is one batch's phase-1 share on one worker, queued on the
+// link's applyQueue for (possibly grouped) delivery.
+type applyCall struct {
+	body   []byte // encoded batch section (appendApplyBatch)
+	capAt  time.Time
+	deltas []shardDelta // response: per-shard deltas in request order
+	err    error
+	done   bool
+}
+
+var applyCallPool = sync.Pool{New: func() any { return new(applyCall) }}
+
+func getApplyCall() *applyCall {
+	call := applyCallPool.Get().(*applyCall)
+	call.body = call.body[:0]
+	call.deltas = call.deltas[:0]
+	call.capAt = time.Time{}
+	call.err = nil
+	call.done = false
+	return call
+}
+
+// applyQueue implements per-link group commit for phase 1. The protocol
+// allows one request in flight per session, so concurrently admitted
+// disjoint batches sharing a worker would serialize round trip by round
+// trip; instead, whichever caller finds the line idle becomes leader,
+// ships every pending batch section in one group frame, and distributes
+// the per-batch verdicts. Small consecutive commits thus cost one
+// rendezvous per group, not per batch.
+type applyQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*applyCall
+	sending bool
+	// labelsSent counts the intern-table prefix already shipped on this
+	// session; the next group's label delta starts there. Only the active
+	// leader (sending == true) advances it; ensureUp resets it with the
+	// session.
+	labelsSent int
+	// frame is the leader's group-frame scratch (header-prefixed).
+	frame []byte
+}
+
+// sendApply queues call on l and blocks until its verdict is in,
+// leading a group send whenever the line is idle.
+func (c *Coordinator) sendApply(l *workerLink, call *applyCall) error {
+	q := &l.applyQ
+	q.mu.Lock()
+	q.pending = append(q.pending, call)
+	for {
+		if call.done {
+			q.mu.Unlock()
+			return call.err
+		}
+		if !q.sending {
+			q.sending = true
+			var group []*applyCall
+			if c.opts.NoCoalesce {
+				for i, p := range q.pending {
+					if p == call {
+						q.pending = append(q.pending[:i], q.pending[i+1:]...)
+						break
+					}
+				}
+				group = []*applyCall{call}
+			} else {
+				group = q.pending
+				q.pending = nil
+			}
+			q.mu.Unlock()
+			c.sendGroup(l, group)
+			q.mu.Lock()
+			q.sending = false
+			q.cond.Broadcast()
+			continue
+		}
+		q.cond.Wait()
+	}
+}
+
+// sendGroup ships one group frame — label delta plus every call's batch
+// section — and distributes the per-batch results. Caller owns the
+// sending flag; results are published (done = true) under the queue
+// mutex, which is the happens-before edge the waiters in sendApply read
+// their call's fields through.
+func (c *Coordinator) sendGroup(l *workerLink, group []*applyCall) {
+	q := &l.applyQ
+	cur := graph.InternedLabels()
+	q.mu.Lock()
+	base := q.labelsSent
+	// Advanced optimistically: a failed send poisons the session, and the
+	// reattach handshake resets the counter with it.
+	q.labelsSent = cur
+	q.mu.Unlock()
+	frame := append(q.frame[:0], zeroFrameHeader[:]...)
+	frame = appendApplyHeader(frame, base, cur)
+	frame = binary.AppendUvarint(frame, uint64(len(group)))
+	// The group's deadline cap is the loosest member's: any one uncapped
+	// call uncaps the round trip (per-batch budgets were already enforced
+	// at admission).
+	var capAt time.Time
+	uncapped := false
+	for _, call := range group {
+		frame = append(frame, call.body...)
+		if call.capAt.IsZero() {
+			uncapped = true
+		} else if call.capAt.After(capAt) {
+			capAt = call.capAt
+		}
+	}
+	if uncapped {
+		capAt = time.Time{}
+	}
+	q.frame = frame[:0]
+	// groupErr, when set, overrides every member's verdict: the response
+	// (or the session) was untrustworthy as a whole.
+	var groupErr error
+	r, err := l.requestPrefixedCapped(frame, capAt)
+	switch {
+	case err != nil:
+		if IsRemote(err) {
+			// An envelope-level rejection (fencing, label-chain mismatch)
+			// leaves the session's label state untrustworthy: drop the
+			// connection so the next batch re-handshakes from scratch.
+			l.poison()
+		}
+		groupErr = err
+	default:
+		var n uint64
+		if n, groupErr = r.uvarint(); groupErr == nil && n != uint64(len(group)) {
+			l.poison()
+			groupErr = fmt.Errorf("%w: group response carries %d batches, sent %d", ErrProtocol, n, len(group))
+		}
+		if groupErr == nil {
+			for _, call := range group {
+				call.deltas, call.err = decodeBatchResult(r, call.deltas[:0])
+			}
+			if derr := r.done(); derr != nil {
+				l.poison()
+				groupErr = derr
+			}
+		}
+	}
+	q.mu.Lock()
+	for _, call := range group {
+		if groupErr != nil {
+			call.err = groupErr
+		}
+		call.done = true
+	}
+	q.mu.Unlock()
+}
+
+// requestPrefixedCapped is requestCapped for header-prefixed frames: one
+// write out, response decoded into the link's reusable scratch.
+func (l *workerLink) requestPrefixedCapped(frame []byte, capAt time.Time) (*reader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	conn, err := l.session()
+	if err != nil {
+		return nil, err
+	}
+	dl := l.deadline(len(frame))
+	if !capAt.IsZero() && capAt.Before(dl) {
+		dl = capAt
+	}
+	conn.SetDeadline(dl)
+	err = writeFramePrefixed(conn, frame)
+	var payload []byte
+	if err == nil {
+		payload, err = readFrameInto(conn, l.respBuf, maxFrame)
+	}
+	conn.SetDeadline(time.Time{})
+	if err != nil {
+		l.fail(conn)
+		return nil, err
+	}
+	if cap(payload) > cap(l.respBuf) {
+		l.respBuf = payload
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty response", ErrProtocol)
+	}
+	switch msgType(payload[0]) {
+	case msgOK:
+		return &reader{buf: payload, off: 1}, nil
+	case msgErr:
+		return nil, remoteError(payload[1:])
+	default:
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrProtocol, payload[0])
+	}
+}
+
+// poison drops the link's current session so the next batch re-dials and
+// re-handshakes it.
+func (l *workerLink) poison() {
+	l.connMu.Lock()
+	conn := l.conn
+	l.connMu.Unlock()
+	if conn != nil {
+		l.fail(conn)
+	}
 }
 
 // session returns the live connection, or an error when the link is down.
@@ -175,11 +385,21 @@ type Coordinator struct {
 	// the generation placements stamp replicas with.
 	lastGen uint64
 
+	// logMu orders the pipelined durability-log appends: it is taken
+	// before a batch's Log callback starts and held until its commit
+	// completes, so log order equals commit order and the generation
+	// stamped on each record is exactly the post-commit generation of the
+	// previous batch — while the fsync itself overlaps the batch's own
+	// phase-1 round trip.
+	logMu sync.Mutex
 	// commitMu serializes the local commit (phase 2 + the caller's
 	// mutation of the authoritative graph and engines); the remote phase 1
 	// of disjoint batches overlaps freely around it. The replication
 	// sequence counter advances under it, so record order is commit order.
-	commitMu sync.Mutex
+	// Overlappable commits of disjoint batches share it as readers (see
+	// ApplyCommit): they merge through the graph's own overlap guards
+	// instead of the exclusive section.
+	commitMu sync.RWMutex
 	replSeq  uint64
 
 	applied      atomic.Uint64
@@ -232,10 +452,12 @@ func NewCoordinatorWith(g *graph.Graph, links []Link, opts CoordinatorOptions) (
 		if name == "" {
 			name = fmt.Sprintf("worker-%d", i)
 		}
-		c.workers = append(c.workers, &workerLink{
+		wl := &workerLink{
 			name: name, redial: l.Redial, conn: l.Conn,
 			retries: l.Retries, timeout: opts.CallTimeout,
-		})
+		}
+		wl.applyQ.cond = sync.NewCond(&wl.applyQ.mu)
+		c.workers = append(c.workers, wl)
 	}
 	held := make([]map[int]bool, len(c.workers))
 	for i, l := range c.workers {
@@ -495,6 +717,11 @@ func (c *Coordinator) ensureUp(w int) error {
 		}
 	}
 	c.mu.Unlock()
+	// The fresh session's label chain restarts at zero (the worker reset
+	// its translation table at the hello above).
+	l.applyQ.mu.Lock()
+	l.applyQ.labelsSent = 0
+	l.applyQ.mu.Unlock()
 	l.connMu.Lock()
 	l.conn = conn
 	l.down = false
@@ -573,13 +800,44 @@ func (c *Coordinator) prepareShards(touched []int) error {
 	return firstErr
 }
 
+// Commit is what a batch does locally once every worker has acknowledged
+// phase 1: the caller's durability-log append and its authoritative
+// application, split so the coordinator can pipeline them around the
+// remote work.
+type Commit struct {
+	// Log, when set, appends the batch to the caller's durability log,
+	// stamped with gen — the post-commit generation of the previous
+	// committed batch (advisory; recovery checks monotonicity). By default
+	// it runs concurrently with the batch's own phase-1 fan-out, ordered
+	// against other batches' logs and commits by the coordinator
+	// (CoordinatorOptions.SerialLog reverts to logging inside the commit
+	// section).
+	Log func(b graph.Batch, gen uint64) error
+	// Unlog undoes the latest successful Log when the batch aborts after
+	// logging (a phase-1 or commit failure). Required when Log is set and
+	// logging is pipelined.
+	Unlog func() error
+	// Apply is the commit itself: the local authoritative application —
+	// the same ApplyBatch phase-2 merge in shard order, plus whatever
+	// engines the caller maintains.
+	Apply func(b graph.Batch) error
+	// Overlappable marks Apply as safe to run concurrently with other
+	// overlappable applies of shard-disjoint batches (true for plain
+	// ApplyBatch-style commits with no engines or serving state attached).
+	// Eligible batches skip the exclusive commit section: the graph's own
+	// overlap guards serialize only the global merge counters. Ignored
+	// when Log, replication, or an OnCommit hook needs commit-order
+	// serialization.
+	Overlappable bool
+}
+
 // Apply runs one batch through the distributed two-phase protocol:
 //
 //  1. The touched shards are locked (batches with disjoint TouchedShards
 //     proceed concurrently), downed workers are reattached and diverged
 //     replicas re-placed from authoritative segments.
-//  2. The batch is validated and compiled into per-shard effects
-//     (graph.PlanShardEffects) against the authoritative graph.
+//  2. The batch is validated and compiled into a per-shard plan
+//     (graph.PlanBatch) against the authoritative graph.
 //  3. Phase 1 fans the effects out to the owning workers in parallel;
 //     every worker applies its shards' slices and reports per-shard
 //     edge-count deltas, which are cross-checked against the plan.
@@ -593,7 +851,7 @@ func (c *Coordinator) prepareShards(touched []int) error {
 // planned to touch is marked for re-placement (workers that applied the
 // aborted effects are resynced before those shards are used again).
 func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error {
-	return c.ApplyDeadline(b, time.Time{}, commit)
+	return c.ApplyCommit(b, time.Time{}, Commit{Apply: commit})
 }
 
 // ApplyDeadline is Apply carrying the serving layer's per-op budget. The
@@ -606,6 +864,15 @@ func (c *Coordinator) Apply(b graph.Batch, commit func(graph.Batch) error) error
 // not the client op's work to bound, and capping it would just make the
 // next op repeat it. A zero deadline is plain Apply.
 func (c *Coordinator) ApplyDeadline(b graph.Batch, deadline time.Time, commit func(graph.Batch) error) error {
+	return c.ApplyCommit(b, deadline, Commit{Apply: commit})
+}
+
+// ApplyCommit is the full-control entry point behind Apply/ApplyDeadline:
+// the commit callback is split into its log and apply halves so the
+// durability write can overlap phase 1 (see Commit). Everything Apply
+// documents — atomic abort, byte-identity with the single-process path —
+// holds unchanged.
+func (c *Coordinator) ApplyCommit(b graph.Batch, deadline time.Time, cb Commit) error {
 	touched := b.TouchedShards(c.g)
 	if !c.acquireDeadline(touched, deadline) {
 		return ErrOverloaded
@@ -617,27 +884,34 @@ func (c *Coordinator) ApplyDeadline(b graph.Batch, deadline time.Time, commit fu
 		return err
 	}
 
-	effs, ok := c.g.PlanShardEffects(b)
+	plan, ok := c.g.PlanBatch(b)
 	if !ok {
 		if err := c.g.ValidateBatch(b); err != nil {
 			return err
 		}
 		return fmt.Errorf("cluster: batch plan failed without a validation error")
 	}
+	defer plan.Release()
+	shards := plan.TouchedShards()
 
-	// Group per owning worker, preserving shard order within each group.
-	perWorker := make(map[int][]graph.ShardEffects)
-	var workerIDs []int
+	// Group the shards per owning worker, preserving shard order within
+	// each group (workers apply and report in request order).
+	nw := len(c.workers)
+	grouped := make([][]int, nw)
 	c.mu.Lock()
-	for _, e := range effs {
-		w := c.assign[e.Shard]
-		if _, seen := perWorker[w]; !seen {
-			workerIDs = append(workerIDs, w)
-		}
-		perWorker[w] = append(perWorker[w], e)
+	for _, s := range shards {
+		w := c.assign[s]
+		grouped[w] = append(grouped[w], s)
 	}
 	c.mu.Unlock()
-	sort.Ints(workerIDs)
+	var workerIDs []int
+	var shardsByWorker [][]int
+	for w := 0; w < nw; w++ {
+		if len(grouped[w]) > 0 {
+			workerIDs = append(workerIDs, w)
+			shardsByWorker = append(shardsByWorker, grouped[w])
+		}
+	}
 
 	// Past the admission wait but out of budget: shed before any remote
 	// work, while the abort is still free (no worker has applied anything,
@@ -646,52 +920,139 @@ func (c *Coordinator) ApplyDeadline(b graph.Batch, deadline time.Time, commit fu
 		return ErrOverloaded
 	}
 
-	// Phase 1: fan out in parallel, one request per involved worker, each
-	// round trip capped by the op's remaining budget.
-	deltas := make([]map[int]int, len(workerIDs))
-	errs := make([]error, len(workerIDs))
-	var wg sync.WaitGroup
-	for i, w := range workerIDs {
-		wg.Add(1)
-		go func(i, w int) {
-			defer wg.Done()
-			r, err := c.workers[w].requestCapped(encodeApply(perWorker[w]), 0, deadline)
-			if err != nil {
-				errs[i] = fmt.Errorf("cluster: phase 1 on %s: %w", c.workers[w].name, err)
-				return
-			}
-			deltas[i], errs[i] = decodeDeltas(r)
-		}(i, w)
+	// Pipelined durability: the log append starts now, concurrent with the
+	// batch's own phase-1 round trips. logMu is taken before the append and
+	// held through the commit, so across batches log order equals commit
+	// order and the stamped generation is exact (the previous commit's
+	// postGen) — the WAL byte stream is identical to logging inside the
+	// commit section.
+	pipelined := cb.Log != nil && !c.opts.SerialLog
+	var (
+		logErr  error
+		logDone chan struct{}
+	)
+	if pipelined {
+		logDone = make(chan struct{})
+		go func() {
+			c.logMu.Lock()
+			c.mu.Lock()
+			gen := c.lastGen
+			c.mu.Unlock()
+			logErr = cb.Log(b, gen)
+			close(logDone)
+		}()
 	}
-	wg.Wait()
 
-	abort := func(err error) error {
-		shards := make([]int, len(effs))
-		for i, e := range effs {
-			shards[i] = e.Shard
-		}
-		c.markDirty(shards)
-		c.remoteErrs.Add(1)
-		return err
+	// Phase 1: one group send per involved worker, each capped by the op's
+	// remaining budget. Calls to the same worker from concurrently admitted
+	// batches coalesce (sendApply); the single-worker case stays on this
+	// goroutine.
+	calls := make([]*applyCall, len(workerIDs))
+	for i := range workerIDs {
+		call := getApplyCall()
+		call.body = appendApplyBatch(call.body, plan, shardsByWorker[i])
+		call.capAt = deadline
+		calls[i] = call
 	}
-	for _, err := range errs {
-		if err != nil {
-			return abort(err)
+	var phase1Err error
+	if len(workerIDs) == 1 {
+		if err := c.sendApply(c.workers[workerIDs[0]], calls[0]); err != nil {
+			phase1Err = fmt.Errorf("cluster: phase 1 on %s: %w", c.workers[workerIDs[0]].name, err)
+		}
+	} else if len(workerIDs) > 1 {
+		errs := make([]error, len(workerIDs))
+		var wg sync.WaitGroup
+		send := func(i, w int) {
+			if err := c.sendApply(c.workers[w], calls[i]); err != nil {
+				errs[i] = fmt.Errorf("cluster: phase 1 on %s: %w", c.workers[w].name, err)
+			}
+		}
+		for i := 1; i < len(workerIDs); i++ {
+			wg.Add(1)
+			go func(i, w int) {
+				defer wg.Done()
+				send(i, w)
+			}(i, workerIDs[i])
+		}
+		// The first worker's round trip rides this goroutine — one fewer
+		// spawn per apply, overlapping the spawned sends all the same.
+		send(0, workerIDs[0])
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				phase1Err = err
+				break
+			}
 		}
 	}
 
 	// Phase 2 cross-check: the per-shard deltas are a pure function of the
 	// plan; a mismatch means the replica diverged from the authoritative
 	// shard. Checked in shard order, like the merge itself.
-	for i, w := range workerIDs {
-		for _, e := range perWorker[w] {
-			want := e.EdgeDelta(c.g)
-			got, present := deltas[i][e.Shard]
-			if !present || got != want {
-				return abort(fmt.Errorf("cluster: shard %d on %s diverged: edge delta %d, want %d",
-					e.Shard, c.workers[w].name, got, want))
+	if phase1Err == nil {
+		for i, w := range workerIDs {
+			ws := shardsByWorker[i]
+			got := calls[i].deltas
+			if len(got) != len(ws) {
+				phase1Err = fmt.Errorf("cluster: %s reported %d shard deltas, want %d",
+					c.workers[w].name, len(got), len(ws))
+				break
+			}
+			for j, s := range ws {
+				if got[j].shard != s || got[j].delta != plan.EdgeDelta(s) {
+					phase1Err = fmt.Errorf("cluster: shard %d on %s diverged: edge delta %d, want %d",
+						s, c.workers[w].name, got[j].delta, plan.EdgeDelta(s))
+					break
+				}
+			}
+			if phase1Err != nil {
+				break
 			}
 		}
+	}
+	for _, call := range calls {
+		applyCallPool.Put(call)
+	}
+
+	abort := func(err error) error {
+		c.markDirty(shards)
+		c.remoteErrs.Add(1)
+		return err
+	}
+	if pipelined {
+		<-logDone
+	}
+	if phase1Err != nil {
+		if pipelined {
+			if logErr == nil && cb.Unlog != nil {
+				cb.Unlog()
+			}
+			c.logMu.Unlock()
+		}
+		return abort(phase1Err)
+	}
+	if pipelined && logErr != nil {
+		c.logMu.Unlock()
+		return abort(fmt.Errorf("cluster: log after phase 1; resyncing: %w", logErr))
+	}
+
+	// Overlappable commits of disjoint batches skip the exclusive commit
+	// section entirely: they hold commitMu as readers (excluding only
+	// serial commits) and let the graph's overlap guards serialize the
+	// global merge counters. Nothing here needs commit order — no log, no
+	// replication record, no feed — and the merges commute, so the final
+	// state is the same as any serial order.
+	if cb.Overlappable && cb.Log == nil && c.opts.Repl == ReplOff && c.opts.OnCommit == nil {
+		c.commitMu.RLock()
+		c.g.BeginOverlappedApplies()
+		err := cb.Apply(b)
+		c.g.EndOverlappedApplies()
+		c.commitMu.RUnlock()
+		if err != nil {
+			return abort(fmt.Errorf("cluster: commit failed after phase 1; resyncing: %w", err))
+		}
+		c.applied.Add(1)
+		return nil
 	}
 
 	// Commit: the local, authoritative application — serialized, because
@@ -699,33 +1060,57 @@ func (c *Coordinator) ApplyDeadline(b graph.Batch, deadline time.Time, commit fu
 	// record's sequence and per-shard chain links are assigned here too,
 	// so replication order is commit order.
 	c.commitMu.Lock()
-	preGen := c.g.Generation()
-	err := commit(b)
+	var err error
+	if cb.Log != nil && !pipelined {
+		c.mu.Lock()
+		gen := c.lastGen
+		c.mu.Unlock()
+		err = cb.Log(b, gen)
+	}
 	var rep *replRecord
 	if err == nil {
-		postGen := c.g.Generation()
-		c.mu.Lock()
-		c.lastGen = postGen
-		c.replSeq++
-		rep = &replRecord{seq: c.replSeq, preGen: preGen, postGen: postGen,
-			prev: make(map[int]uint64, len(effs))}
-		for _, e := range effs {
-			rep.prev[e.Shard] = c.replLast[e.Shard]
-			c.replLast[e.Shard] = c.replSeq
-		}
-		c.mu.Unlock()
-		// The standby feed runs inside the commit critical section:
-		// Hub.Feed requires commit order across ALL batches, and the
-		// per-shard locks alone would let two disjoint batches' post-unlock
-		// feeds invert (the standby's generation check then rejects the
-		// reordered record and marks a healthy replica stale). Feed only
-		// enqueues — it never waits on a standby — so this does not extend
-		// the serialized section by any network time.
-		if c.opts.OnCommit != nil {
-			c.opts.OnCommit(rep.seq, rep.preGen, rep.postGen, b)
+		preGen := c.g.Generation()
+		err = cb.Apply(b)
+		if err == nil {
+			postGen := c.g.Generation()
+			c.mu.Lock()
+			c.lastGen = postGen
+			c.replSeq++
+			seq := c.replSeq
+			if c.opts.Repl != ReplOff {
+				rep = &replRecord{seq: seq, preGen: preGen, postGen: postGen,
+					prev: make(map[int]uint64, len(shards))}
+				for _, s := range shards {
+					rep.prev[s] = c.replLast[s]
+					c.replLast[s] = seq
+				}
+			} else {
+				for _, s := range shards {
+					c.replLast[s] = seq
+				}
+			}
+			c.mu.Unlock()
+			// The standby feed runs inside the commit critical section:
+			// Hub.Feed requires commit order across ALL batches, and the
+			// per-shard locks alone would let two disjoint batches' post-unlock
+			// feeds invert (the standby's generation check then rejects the
+			// reordered record and marks a healthy replica stale). Feed only
+			// enqueues — it never waits on a standby — so this does not extend
+			// the serialized section by any network time.
+			if c.opts.OnCommit != nil {
+				c.opts.OnCommit(seq, preGen, postGen, b)
+			}
 		}
 	}
 	c.commitMu.Unlock()
+	if pipelined {
+		if err != nil && cb.Unlog != nil {
+			// The record is logged but will never apply: take it back so
+			// the WAL keeps matching the committed state.
+			cb.Unlog()
+		}
+		c.logMu.Unlock()
+	}
 	if err != nil {
 		// Workers applied a batch the authoritative side rejected.
 		return abort(fmt.Errorf("cluster: commit failed after phase 1; resyncing: %w", err))
@@ -736,7 +1121,7 @@ func (c *Coordinator) ApplyDeadline(b graph.Batch, deadline time.Time, commit fu
 	// is irrelevant to the per-shard chains). It cannot fail the batch —
 	// it is already durable locally.
 	if c.opts.Repl != ReplOff {
-		c.replicate(b, workerIDs, perWorker, rep)
+		c.replicate(b, workerIDs, shardsByWorker, rep)
 	}
 	return nil
 }

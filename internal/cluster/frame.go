@@ -87,11 +87,38 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// writeFramePrefixed sends a frame whose payload was built with
+// frameHeaderSize bytes reserved at the front: it stamps the length+CRC
+// header in place and issues a single Write. The hot apply path uses it —
+// one write halves the synchronous-pipe rendezvous count of the
+// in-process transport and avoids the small-packet header write on TCP —
+// while the header bytes on the wire stay identical to writeFrame's, so
+// frame-level shims (FaultScript) and readers cannot tell them apart.
+func writeFramePrefixed(w io.Writer, frame []byte) error {
+	payload := frame[frameHeaderSize:]
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: payload of %d bytes exceeds %d", ErrFrame, len(payload), maxFrame)
+	}
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(frame)
+	return err
+}
+
 // readFrame reads one framed payload of at most max bytes. Torn headers
 // or payloads, lengths past the cap, and CRC mismatches all return
 // ErrFrame-wrapped errors; a clean EOF before any header byte returns
 // io.EOF so accept loops can distinguish hangup from corruption.
 func readFrame(r io.Reader, max uint32) ([]byte, error) {
+	return readFrameInto(r, nil, max)
+}
+
+// readFrameInto is readFrame decoding into a reusable buffer: the payload
+// lands in buf when its capacity suffices, so a connection that owns its
+// scratch reads every request allocation-free once warm. The returned
+// slice aliases buf (or a fresh allocation when buf was too small);
+// callers own the growth.
+func readFrameInto(r io.Reader, buf []byte, max uint32) ([]byte, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -104,7 +131,12 @@ func readFrame(r io.Reader, max uint32) ([]byte, error) {
 	if length > max {
 		return nil, fmt.Errorf("%w: implausible length %d (cap %d)", ErrFrame, length, max)
 	}
-	payload := make([]byte, length)
+	var payload []byte
+	if uint32(cap(buf)) >= length {
+		payload = buf[:length]
+	} else {
+		payload = make([]byte, length)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("%w: torn payload: %w", ErrFrame, err)
 	}

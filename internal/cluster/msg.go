@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"incgraph/internal/graph"
 )
@@ -14,13 +15,23 @@ import (
 // and IDs — the same conventions as the WAL and snapshot codecs). The
 // protocol is strict request/response: the coordinator sends one request
 // per connection at a time and the worker answers with msgOK (body per
-// request type) or msgErr (UTF-8 error text). Labels travel as strings:
-// LabelIDs are process-local.
+// request type) or msgErr (UTF-8 error text).
+//
+// Labels travel as an incrementally shipped session table: LabelIDs are
+// process-local but dense and append-only (graph.InternedLabels), so each
+// apply request carries only the label strings interned since the last
+// request on the session, and node labels in effects are uvarint
+// references into the coordinator's table. The worker keeps the
+// coordinator-ID → local-ID translation per connection, reset at hello.
+// This removes the per-node label strings (and the worker-side intern
+// locks) from the hot apply path.
 
 // protocolVersion guards the wire format; hello rejects mismatches.
 // Version 2 added coordinator terms (fencing), per-shard WAL replication
-// and the standby tail stream.
-const protocolVersion = 2
+// and the standby tail stream. Version 3 made apply a group request
+// (several shard-disjoint batches per frame, each acked independently)
+// with session-interned label references instead of per-node strings.
+const protocolVersion = 3
 
 type msgType byte
 
@@ -34,8 +45,11 @@ const (
 	msgPlace
 	// msgDrop removes a shard replica: uvarint shard.
 	msgDrop
-	// msgApply runs phase 1 for the listed shards: the ShardEffects slices
-	// of one planned batch. The worker answers with per-shard edge deltas.
+	// msgApply runs phase 1 for a group of shard-disjoint planned batches:
+	// a label-table delta (chained per session), then each batch's
+	// ShardEffects. The worker answers with a per-batch status — edge
+	// deltas on success, an error text on divergence — so one failed batch
+	// does not poison the others in its frame.
 	msgApply
 	// msgExport returns the parcel of an owned shard: uvarint shard.
 	msgExport
@@ -80,6 +94,18 @@ var ErrProtocol = errors.New("cluster: protocol error")
 type remoteError string
 
 func (e remoteError) Error() string { return "cluster: remote: " + string(e) }
+
+// ErrFenced matches (errors.Is) worker refusals caused by fencing: the
+// session's term was superseded by a newer coordinator. A fenced commit
+// failed before any worker applied anything; serving layers surface it
+// as "this node was deposed", not as a batch error.
+var ErrFenced = errors.New("cluster: fenced")
+
+// Is lets errors.Is(err, ErrFenced) see through the remote wrapper: the
+// worker's fencing refusals all carry the "fenced:" prefix.
+func (e remoteError) Is(target error) bool {
+	return target == ErrFenced && strings.HasPrefix(string(e), "fenced:")
+}
 
 // IsRemote reports whether err is a worker-reported error rather than a
 // transport or framing failure.
@@ -203,35 +229,112 @@ func decodeShardList(r *reader) ([]int, error) {
 	return out, nil
 }
 
-// encodeApply builds the apply request: every ShardEffects slice of one
-// planned batch destined for a single worker.
-func encodeApply(effs []graph.ShardEffects) []byte {
-	buf := []byte{byte(msgApply)}
-	buf = binary.AppendUvarint(buf, uint64(len(effs)))
-	for _, e := range effs {
-		buf = binary.AppendUvarint(buf, uint64(e.Shard))
-		buf = binary.AppendUvarint(buf, uint64(len(e.NewNodes)))
-		for _, n := range e.NewNodes {
-			buf = binary.AppendVarint(buf, int64(n.ID))
-			buf = binary.AppendUvarint(buf, uint64(len(n.Label)))
-			buf = append(buf, n.Label...)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(e.Ops)))
-		for _, op := range e.Ops {
-			if op.Op == graph.Insert {
-				buf = append(buf, 0)
-			} else {
-				buf = append(buf, 1)
-			}
-			buf = binary.AppendVarint(buf, int64(op.From))
-			buf = binary.AppendVarint(buf, int64(op.To))
-		}
+// ---- apply codecs (protocol v3) ----------------------------------------
+//
+// An apply request is a GROUP: a label-table delta for the session
+// followed by one or more shard-disjoint batches. The coordinator encodes
+// each batch's effects straight off the validated graph.Plan into a
+// pooled buffer with the frame header reserved up front, so the hot path
+// allocates nothing and the frame leaves in a single write.
+//
+//	request:  byte msgApply
+//	          uvarint labelBase (labels already shipped on this session)
+//	          uvarint nLabels, then per label: uvarint len + bytes
+//	          uvarint nBatches, then per batch:
+//	            uvarint nShards, per shard:
+//	              uvarint shard
+//	              uvarint nNew, per node: varint id, uvarint labelRef
+//	              uvarint nOps, per op: byte op, varint from, varint to
+//	response: byte msgOK
+//	          uvarint nBatches, then per batch:
+//	            byte status (0 ok, 1 failed)
+//	            ok:     uvarint nShards, per shard: uvarint shard, varint delta
+//	            failed: uvarint len + error text
+
+// applyStatus bytes in a group response.
+const (
+	applyOK     byte = 0
+	applyFailed byte = 1
+)
+
+// appendApplyHeader starts an apply request body in buf: the type byte
+// and the label-table delta [base, cur) of the process intern table.
+func appendApplyHeader(buf []byte, base, cur int) []byte {
+	buf = append(buf, byte(msgApply))
+	buf = binary.AppendUvarint(buf, uint64(base))
+	buf = binary.AppendUvarint(buf, uint64(cur-base))
+	for id := base; id < cur; id++ {
+		label := graph.LabelOf(graph.LabelID(id))
+		buf = binary.AppendUvarint(buf, uint64(len(label)))
+		buf = append(buf, label...)
 	}
 	return buf
 }
 
-// decodeApply parses an apply body (type byte already consumed).
-func decodeApply(r *reader) ([]graph.ShardEffects, error) {
+// appendApplyBatch appends one batch's effects for the given shards,
+// iterating the plan directly — no intermediate ShardEffects slices.
+func appendApplyBatch(buf []byte, plan *graph.Plan, shards []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(shards)))
+	for _, si := range shards {
+		buf = binary.AppendUvarint(buf, uint64(si))
+		buf = binary.AppendUvarint(buf, uint64(plan.NumNewNodes(si)))
+		plan.NewNodes(si, func(id graph.NodeID, lid graph.LabelID) {
+			buf = binary.AppendVarint(buf, int64(id))
+			buf = binary.AppendUvarint(buf, uint64(lid))
+		})
+		buf = binary.AppendUvarint(buf, uint64(plan.NumOps(si)))
+		plan.Ops(si, func(op graph.Op, from, to graph.NodeID) {
+			if op == graph.Insert {
+				buf = append(buf, 0)
+			} else {
+				buf = append(buf, 1)
+			}
+			buf = binary.AppendVarint(buf, int64(from))
+			buf = binary.AppendVarint(buf, int64(to))
+		})
+	}
+	return buf
+}
+
+// decodeApplyLabels consumes the label-table delta at the head of an
+// apply body, extending the session's coordinator-ID → local-ID
+// translation. The base must chain exactly onto what the session has
+// already translated; a mismatch means the peers disagree about session
+// state and the request is rejected before any effect applies.
+func decodeApplyLabels(r *reader, coordLabels []graph.LabelID) ([]graph.LabelID, error) {
+	base, err := r.uvarint()
+	if err != nil {
+		return coordLabels, err
+	}
+	if base != uint64(len(coordLabels)) {
+		return coordLabels, fmt.Errorf("%w: label chain base %d, session has %d", ErrProtocol, base, len(coordLabels))
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return coordLabels, err
+	}
+	if n > uint64(len(r.buf)) {
+		return coordLabels, fmt.Errorf("%w: implausible label count %d", ErrProtocol, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		l, err := r.uvarint()
+		if err != nil {
+			return coordLabels, err
+		}
+		label, err := r.bytes(l)
+		if err != nil {
+			return coordLabels, err
+		}
+		coordLabels = append(coordLabels, graph.InternLabel(string(label)))
+	}
+	return coordLabels, nil
+}
+
+// decodeApplyBatch parses one batch of a group into the session's scratch
+// slices (reused across batches and requests), translating label
+// references through coordLabels. The returned effects alias the scratch;
+// they are valid until the next call.
+func decodeApplyBatch(r *reader, sess *applySession) ([]graph.ShardEffects, error) {
 	nShards, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -239,8 +342,10 @@ func decodeApply(r *reader) ([]graph.ShardEffects, error) {
 	if nShards > graph.MaxShards {
 		return nil, fmt.Errorf("%w: apply names %d shards", ErrProtocol, nShards)
 	}
-	out := make([]graph.ShardEffects, nShards)
-	for i := range out {
+	sess.effs = sess.effs[:0]
+	sess.nodes = sess.nodes[:0]
+	sess.ops = sess.ops[:0]
+	for i := uint64(0); i < nShards; i++ {
 		s, err := r.uvarint()
 		if err != nil {
 			return nil, err
@@ -253,22 +358,22 @@ func decodeApply(r *reader) ([]graph.ShardEffects, error) {
 		if nNew > uint64(len(r.buf)) {
 			return nil, fmt.Errorf("%w: implausible node count %d", ErrProtocol, nNew)
 		}
-		eff.NewNodes = make([]graph.ShardNewNode, nNew)
-		for j := range eff.NewNodes {
+		nodeLo := len(sess.nodes)
+		for j := uint64(0); j < nNew; j++ {
 			id, err := r.varint()
 			if err != nil {
 				return nil, err
 			}
-			l, err := r.uvarint()
+			ref, err := r.uvarint()
 			if err != nil {
 				return nil, err
 			}
-			label, err := r.bytes(l)
-			if err != nil {
-				return nil, err
+			if ref >= uint64(len(sess.coordLabels)) {
+				return nil, fmt.Errorf("%w: label ref %d past session table (%d)", ErrProtocol, ref, len(sess.coordLabels))
 			}
-			eff.NewNodes[j] = graph.ShardNewNode{ID: graph.NodeID(id), Label: string(label)}
+			sess.nodes = append(sess.nodes, graph.ShardNewNode{ID: graph.NodeID(id), Label: sess.coordLabels[ref]})
 		}
+		eff.NewNodes = sess.nodes[nodeLo:]
 		nOps, err := r.uvarint()
 		if err != nil {
 			return nil, err
@@ -276,8 +381,8 @@ func decodeApply(r *reader) ([]graph.ShardEffects, error) {
 		if nOps > uint64(len(r.buf)) {
 			return nil, fmt.Errorf("%w: implausible op count %d", ErrProtocol, nOps)
 		}
-		eff.Ops = make([]graph.ShardOp, nOps)
-		for j := range eff.Ops {
+		opLo := len(sess.ops)
+		for j := uint64(0); j < nOps; j++ {
 			opb, err := r.byte()
 			if err != nil {
 				return nil, err
@@ -296,26 +401,61 @@ func decodeApply(r *reader) ([]graph.ShardEffects, error) {
 			} else if opb != 0 {
 				return nil, fmt.Errorf("%w: unknown op byte %d", ErrProtocol, opb)
 			}
-			eff.Ops[j] = graph.ShardOp{Op: op, From: graph.NodeID(from), To: graph.NodeID(to)}
+			sess.ops = append(sess.ops, graph.ShardOp{Op: op, From: graph.NodeID(from), To: graph.NodeID(to)})
 		}
-		out[i] = eff
+		eff.Ops = sess.ops[opLo:]
+		sess.effs = append(sess.effs, eff)
 	}
-	return out, r.done()
+	return sess.effs, nil
 }
 
-// encodeDeltas builds the apply response: per-shard edge-count deltas in
-// request order.
-func encodeDeltas(shards []int, deltas []int) []byte {
-	buf := []byte{byte(msgOK)}
-	buf = binary.AppendUvarint(buf, uint64(len(shards)))
-	for i, s := range shards {
-		buf = binary.AppendUvarint(buf, uint64(s))
+// shardDelta is one shard's phase-1 edge-count report.
+type shardDelta struct {
+	shard int
+	delta int
+}
+
+// appendBatchDeltas appends one batch's ok status and per-shard deltas to
+// a group response body.
+func appendBatchDeltas(buf []byte, effs []graph.ShardEffects, deltas []int) []byte {
+	buf = append(buf, applyOK)
+	buf = binary.AppendUvarint(buf, uint64(len(effs)))
+	for i, e := range effs {
+		buf = binary.AppendUvarint(buf, uint64(e.Shard))
 		buf = binary.AppendVarint(buf, int64(deltas[i]))
 	}
 	return buf
 }
 
-func decodeDeltas(r *reader) (map[int]int, error) {
+// appendBatchError appends one batch's failure status and error text.
+func appendBatchError(buf []byte, err error) []byte {
+	buf = append(buf, applyFailed)
+	text := err.Error()
+	buf = binary.AppendUvarint(buf, uint64(len(text)))
+	return append(buf, text...)
+}
+
+// decodeBatchResult parses one batch's slot of a group response into out
+// (reused capacity). A failed batch returns a remoteError.
+func decodeBatchResult(r *reader, out []shardDelta) ([]shardDelta, error) {
+	status, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if status == applyFailed {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		text, err := r.bytes(l)
+		if err != nil {
+			return nil, err
+		}
+		return nil, remoteError(text)
+	}
+	if status != applyOK {
+		return nil, fmt.Errorf("%w: unknown batch status %d", ErrProtocol, status)
+	}
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -323,7 +463,7 @@ func decodeDeltas(r *reader) (map[int]int, error) {
 	if n > graph.MaxShards {
 		return nil, fmt.Errorf("%w: %d delta entries", ErrProtocol, n)
 	}
-	out := make(map[int]int, n)
+	out = out[:0]
 	for i := uint64(0); i < n; i++ {
 		s, err := r.uvarint()
 		if err != nil {
@@ -333,9 +473,9 @@ func decodeDeltas(r *reader) (map[int]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[int(s)] = int(d)
+		out = append(out, shardDelta{shard: int(s), delta: int(d)})
 	}
-	return out, r.done()
+	return out, nil
 }
 
 // WorkerStat is one worker's self-report: owned shards with node counts

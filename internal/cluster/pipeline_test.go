@@ -1,0 +1,191 @@
+package cluster
+
+// Tests of the pipelined commit machinery added with the group-commit
+// protocol: the ordering contract of the OnCommit/replication hooks
+// under concurrent shard-disjoint commits, and the overlapped commit
+// path that lets such commits skip the exclusive commit section. Run
+// with -race these double as the concurrency audit of the coalescing
+// queue and the graph's overlapped-apply guards.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+)
+
+// disjointBatches builds valid batches with pairwise-disjoint
+// TouchedShards (every update stays inside one shard) so they may be
+// fired concurrently in any order.
+func disjointBatches(t *testing.T, g *graph.Graph, seed int64) []graph.Batch {
+	t.Helper()
+	scratch := g.Clone()
+	all := gen.Updates(scratch, gen.UpdateSpec{Count: 240, InsertRatio: 0.6, Locality: 0.3, Seed: seed})
+	byShard := make(map[int]graph.Batch)
+	for _, u := range all {
+		if sf, st := g.ShardOf(u.From), g.ShardOf(u.To); sf == st {
+			byShard[sf] = append(byShard[sf], u)
+		}
+	}
+	check := g.Clone()
+	var batches []graph.Batch
+	for s := 0; s < g.NumShards(); s++ {
+		if b := byShard[s]; len(b) > 0 && check.ValidateBatch(b) == nil {
+			if err := check.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			batches = append(batches, b)
+		}
+	}
+	if len(batches) < 2 {
+		t.Fatalf("workload produced %d disjoint batches; want at least 2", len(batches))
+	}
+	return batches
+}
+
+// TestCommitHookOrderUnderDisjointConcurrency pins the ordering contract
+// of the serialized commit section: shard-disjoint batches committed
+// concurrently (phase 1 overlapping, coalesced or not) must still drive
+// the OnCommit hook with densely increasing sequence numbers and a
+// gapless generation chain — the invariant the HA hub's standby feed and
+// the per-shard replica logs are built on.
+func TestCommitHookOrderUnderDisjointConcurrency(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts CoordinatorOptions
+	}{
+		{"coalesced", CoordinatorOptions{}},
+		{"no-coalesce", CoordinatorOptions{NoCoalesce: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGraph(t, 8)
+			links, _, stop := InProcess(2)
+			defer stop()
+			type ev struct{ seq, preGen, postGen uint64 }
+			var mu sync.Mutex
+			var events []ev
+			opts := tc.opts
+			opts.Term = 1
+			opts.Repl = ReplAsync
+			opts.OnCommit = func(seq, preGen, postGen uint64, b graph.Batch) {
+				mu.Lock()
+				events = append(events, ev{seq, preGen, postGen})
+				mu.Unlock()
+			}
+			co, err := NewCoordinatorWith(g, links, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer co.Close()
+
+			total := 0
+			for round := 0; round < 4; round++ {
+				batches := disjointBatches(t, g, 900+int64(round))
+				var wg sync.WaitGroup
+				errs := make([]error, len(batches))
+				for i, b := range batches {
+					wg.Add(1)
+					go func(i int, b graph.Batch) {
+						defer wg.Done()
+						errs[i] = co.Apply(b, commitLocal(g))
+					}(i, b)
+				}
+				wg.Wait()
+				for i, err := range errs {
+					if err != nil {
+						t.Fatalf("round %d batch %d: %v", round, i, err)
+					}
+				}
+				total += len(batches)
+			}
+
+			mu.Lock()
+			got := append([]ev(nil), events...)
+			mu.Unlock()
+			if len(got) != total {
+				t.Fatalf("OnCommit fired %d times for %d commits", len(got), total)
+			}
+			for i, e := range got {
+				if e.seq != uint64(i+1) {
+					t.Fatalf("feed order broken: event %d carries seq %d", i, e.seq)
+				}
+				if i > 0 && e.preGen != got[i-1].postGen {
+					t.Fatalf("generation chain broken at seq %d: preGen %d, want %d",
+						e.seq, e.preGen, got[i-1].postGen)
+				}
+			}
+
+			// Replication rides the same order: every record ships without
+			// tripping the per-shard sequence chain (a gap or inversion
+			// would count as degraded and force a resync).
+			deadline := time.Now().Add(10 * time.Second)
+			for co.ReplShipped() < uint64(total) {
+				if time.Now().After(deadline) {
+					t.Fatalf("replication shipped %d of %d records", co.ReplShipped(), total)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if n := co.ReplDegraded(); n != 0 {
+				t.Fatalf("replication order broken: %d records arrived gapped", n)
+			}
+			if err := co.VerifyAll(); err != nil {
+				t.Fatalf("replicas diverged: %v", err)
+			}
+		})
+	}
+}
+
+// TestOverlappedDisjointCommits drives the overlapped commit path:
+// Overlappable commits of shard-disjoint batches run their phase-2
+// merges concurrently (commitMu held as readers) and must still leave
+// the graph, and every worker replica, exactly where a serial run would.
+func TestOverlappedDisjointCommits(t *testing.T) {
+	g := testGraph(t, 8)
+	links, _, stop := InProcess(2)
+	defer stop()
+	co, err := NewCoordinator(g, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	want := g.Clone() // serial reference
+	for round := 0; round < 4; round++ {
+		batches := disjointBatches(t, g, 1700+int64(round))
+		for _, b := range batches {
+			if err := want.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(batches))
+		for i, b := range batches {
+			wg.Add(1)
+			go func(i int, b graph.Batch) {
+				defer wg.Done()
+				errs[i] = co.ApplyCommit(b, time.Time{}, Commit{
+					Apply:        func(bb graph.Batch) error { return g.ApplyBatch(bb) },
+					Overlappable: true,
+				})
+			}(i, b)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d batch %d: %v", round, i, err)
+			}
+		}
+	}
+
+	if !g.Equal(want) || !want.Equal(g) {
+		t.Fatal("overlapped commits diverged from the serial reference")
+	}
+	if err := co.VerifyAll(); err != nil {
+		t.Fatalf("replicas diverged: %v", err)
+	}
+	if n := co.RemoteErrors(); n != 0 {
+		t.Fatalf("stream recorded %d remote errors", n)
+	}
+}

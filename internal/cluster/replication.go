@@ -70,6 +70,18 @@ type CoordinatorOptions struct {
 	// order — the hook the standby feed (Hub) rides. It is called after
 	// the commit, while the batch's shards are still held.
 	OnCommit func(seq, preGen, postGen uint64, b graph.Batch)
+	// SerialLog reverts the pipelined durability log: the Commit.Log
+	// callback runs inside the serialized commit section, after phase 1,
+	// instead of overlapping the batch's phase-1 round trips. The WAL
+	// byte stream is identical either way (the pipeline preserves log
+	// order and generation stamps); this is a differential-testing and
+	// debugging switch.
+	SerialLog bool
+	// NoCoalesce disables phase-1 group commit on the worker links: each
+	// batch's share goes out as its own request instead of riding a
+	// shared group frame with concurrently admitted batches. Results are
+	// identical; this is a differential-testing and debugging switch.
+	NoCoalesce bool
 }
 
 // replRecord carries one committed batch's replication identity: its
@@ -149,7 +161,7 @@ func (c *Coordinator) ship(l *workerLink, job replJob) bool {
 // under ReplQuorum, waits for a majority of clean acks. Called while the
 // batch's shards are still busy, so same-shard records enqueue in commit
 // order.
-func (c *Coordinator) replicate(b graph.Batch, workerIDs []int, perWorker map[int][]graph.ShardEffects, rep *replRecord) {
+func (c *Coordinator) replicate(b graph.Batch, workerIDs []int, shardsByWorker [][]int, rep *replRecord) {
 	payload, err := store.EncodeRecord(rep.seq, rep.preGen, b)
 	if err != nil {
 		c.replDegraded.Add(1)
@@ -157,10 +169,10 @@ func (c *Coordinator) replicate(b graph.Batch, workerIDs []int, perWorker map[in
 	}
 	quorum := c.opts.Repl == ReplQuorum
 	var dones []chan bool
-	for _, w := range workerIDs {
-		entries := make([]replEntry, len(perWorker[w]))
-		for i, e := range perWorker[w] {
-			entries[i] = replEntry{shard: e.Shard, prevSeq: rep.prev[e.Shard]}
+	for wi, w := range workerIDs {
+		entries := make([]replEntry, len(shardsByWorker[wi]))
+		for i, s := range shardsByWorker[wi] {
+			entries[i] = replEntry{shard: s, prevSeq: rep.prev[s]}
 		}
 		job := replJob{entries: entries, postGen: rep.postGen, payload: payload}
 		if quorum {

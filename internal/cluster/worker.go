@@ -39,6 +39,10 @@ type Worker struct {
 	replGen    map[int]uint64
 	replicated uint64
 	replGaps   uint64
+
+	// applyDeltas is phase-1 scratch, reused across requests (safe: every
+	// request runs under mu).
+	applyDeltas []int
 }
 
 // NewWorker returns an empty worker; the coordinator's hello sizes it.
@@ -85,6 +89,34 @@ func (w *Worker) Serve(ln net.Listener) error {
 	}
 }
 
+// applySession is the per-connection state of the apply fast path: the
+// coordinator-ID → local-ID label translation built up by the label-delta
+// chain at the head of every apply request, and the scratch buffers that
+// make a warm connection decode requests, apply effects, and frame
+// responses without allocating.
+type applySession struct {
+	// coordLabels[i] is the local LabelID for the coordinator's label i.
+	// Grows monotonically over the session; reset by hello.
+	coordLabels []graph.LabelID
+
+	effs   []graph.ShardEffects
+	nodes  []graph.ShardNewNode
+	ops    []graph.ShardOp
+	deltas []int
+
+	readBuf []byte // request frame payloads
+	resp    []byte // response bodies built by the apply handler
+	frame   []byte // header-prefixed single-write response frames
+}
+
+// smallResp bounds responses sent via the single-write prefixed-frame
+// path; anything larger (export parcels) goes out as header+payload so
+// the connection's scratch buffer never balloons to parcel size.
+const smallResp = 64 << 10
+
+// zeroFrameHeader reserves header space at the front of a prefixed frame.
+var zeroFrameHeader [frameHeaderSize]byte
+
 // ServeConn answers framed requests on conn until EOF or a framing error.
 // Request-level failures (unknown shard, diverged state) are answered with
 // msgErr and the connection stays up; framing errors tear it down — the
@@ -98,20 +130,31 @@ func (w *Worker) ServeConn(conn io.ReadWriter) error {
 	// it lags w.maxTerm once a newer coordinator appears, which is what
 	// fences the old one's in-flight session.
 	var sessTerm uint64
+	sess := &applySession{}
 	for {
-		payload, err := readFrame(conn, limit)
+		payload, err := readFrameInto(conn, sess.readBuf, limit)
 		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			return err
 		}
+		if cap(payload) > cap(sess.readBuf) {
+			sess.readBuf = payload
+		}
 		if len(payload) == 0 {
 			return fmt.Errorf("%w: empty message", ErrProtocol)
 		}
 		t := msgType(payload[0])
-		resp := w.handle(t, &reader{buf: payload, off: 1}, &sessTerm)
-		if err := writeFrame(conn, resp); err != nil {
+		resp := w.handle(t, &reader{buf: payload, off: 1}, &sessTerm, sess)
+		if len(resp) <= smallResp {
+			frame := append(sess.frame[:0], zeroFrameHeader[:]...)
+			frame = append(frame, resp...)
+			sess.frame = frame[:0]
+			if err := writeFramePrefixed(conn, frame); err != nil {
+				return err
+			}
+		} else if err := writeFrame(conn, resp); err != nil {
 			return err
 		}
 		// Only a successful hello — the coordinator handshake — earns the
@@ -124,15 +167,42 @@ func (w *Worker) ServeConn(conn io.ReadWriter) error {
 }
 
 // handle dispatches one request and builds the response frame payload.
-func (w *Worker) handle(t msgType, r *reader, sessTerm *uint64) []byte {
+func (w *Worker) handle(t msgType, r *reader, sessTerm *uint64, sess *applySession) []byte {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	resp, err := w.dispatch(t, r, sessTerm)
+	resp, err := w.dispatch(t, r, sessTerm, sess)
 	if err != nil {
 		w.errs++
 		return append([]byte{byte(msgErr)}, err.Error()...)
 	}
 	return resp
+}
+
+// applyBatchEffects runs phase 1 for one batch of a group — ownership
+// check across all its shards first, then ApplyShardEffects per shard —
+// and appends the batch's verdict (per-shard deltas, or an error) to the
+// group response. Caller holds w.mu.
+func (w *Worker) applyBatchEffects(resp []byte, effs []graph.ShardEffects) []byte {
+	for _, e := range effs {
+		if e.Shard < 0 || e.Shard >= w.g.NumShards() || !w.owned[e.Shard] {
+			w.errs++
+			return appendBatchError(resp, fmt.Errorf("shard %d not placed here", e.Shard))
+		}
+	}
+	w.applyDeltas = w.applyDeltas[:0]
+	for _, e := range effs {
+		d, err := w.g.ApplyShardEffects(e)
+		if err != nil {
+			// The shard may be partially applied: disown it so the
+			// coordinator's resync must re-place it before reuse.
+			delete(w.owned, e.Shard)
+			w.errs++
+			return appendBatchError(resp, err)
+		}
+		w.applyDeltas = append(w.applyDeltas, d)
+	}
+	w.applied++
+	return appendBatchDeltas(resp, effs, w.applyDeltas)
 }
 
 // fenced guards mutating requests: a session helloed at a term below the
@@ -145,13 +215,17 @@ func (w *Worker) fenced(sessTerm uint64) error {
 	return nil
 }
 
-func (w *Worker) dispatch(t msgType, r *reader, sessTerm *uint64) ([]byte, error) {
+func (w *Worker) dispatch(t msgType, r *reader, sessTerm *uint64, sess *applySession) ([]byte, error) {
 	switch t {
 	case msgHello:
 		version, shards, term, err := decodeHello(r)
 		if err != nil {
 			return nil, err
 		}
+		// The session's label chain restarts with the handshake: a
+		// coordinator (or promoted standby) that hellos resends its label
+		// table from zero.
+		sess.coordLabels = sess.coordLabels[:0]
 		if version != protocolVersion {
 			return nil, fmt.Errorf("protocol version %d not supported (have %d)", version, protocolVersion)
 		}
@@ -251,30 +325,35 @@ func (w *Worker) dispatch(t msgType, r *reader, sessTerm *uint64) ([]byte, error
 		if err := w.fenced(*sessTerm); err != nil {
 			return nil, err
 		}
-		effs, err := decodeApply(r)
+		var err error
+		sess.coordLabels, err = decodeApplyLabels(r, sess.coordLabels)
 		if err != nil {
 			return nil, err
 		}
-		shards := make([]int, len(effs))
-		deltas := make([]int, len(effs))
-		for i, e := range effs {
-			if e.Shard < 0 || e.Shard >= w.g.NumShards() || !w.owned[e.Shard] {
-				return nil, fmt.Errorf("shard %d not placed here", e.Shard)
-			}
-			shards[i] = e.Shard
+		nBatches, err := r.uvarint()
+		if err != nil {
+			return nil, err
 		}
-		for i, e := range effs {
-			d, err := w.g.ApplyShardEffects(e)
+		if nBatches == 0 || nBatches > uint64(len(r.buf)) {
+			return nil, fmt.Errorf("%w: implausible batch count %d", ErrProtocol, nBatches)
+		}
+		resp := append(sess.resp[:0], byte(msgOK))
+		resp = binary.AppendUvarint(resp, nBatches)
+		for b := uint64(0); b < nBatches; b++ {
+			effs, err := decodeApplyBatch(r, sess)
 			if err != nil {
-				// The shard may be partially applied: disown it so the
-				// coordinator's resync must re-place it before reuse.
-				delete(w.owned, e.Shard)
 				return nil, err
 			}
-			deltas[i] = d
+			// The batches of one group touch disjoint shard sets (the
+			// coordinator's admission gate guarantees it), so each gets an
+			// independent verdict: one failing does not poison the rest.
+			resp = w.applyBatchEffects(resp, effs)
 		}
-		w.applied++
-		return encodeDeltas(shards, deltas), nil
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		sess.resp = resp[:0]
+		return resp, nil
 
 	case msgExport:
 		if w.g == nil {

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Remote phase-1 hooks. The two-phase ApplyBatch protocol of shard.go was
 // designed so that phase 1 — per-shard application of a validated plan's
@@ -9,10 +12,13 @@ import "fmt"
 // the plan once, ship each shard's slice of it to the worker process
 // owning that shard, and merge the (deterministic) per-shard deltas in
 // shard order locally, producing the same graph as a single-process
-// application. This file exports the per-shard slice of a plan
-// (PlanShardEffects) and its application (ApplyShardEffects) in a
-// wire-friendly form: labels travel as strings because LabelIDs are
-// process-local, exactly as in the snapshot format.
+// application. This file exports the validated plan itself (PlanBatch,
+// with zero-copy per-shard iteration for wire encoders), the materialized
+// per-shard slices (PlanShardEffects) and their application
+// (ApplyShardEffects). Labels appear as interned LabelIDs; because IDs are
+// process-local, a wire protocol must ship the label-string table
+// alongside (once per session — see InternedLabels) and translate IDs at
+// the receiving end.
 //
 // A worker's graph is a shard container: it holds authoritative node
 // records, slot allocators and adjacency for the shards placed on it
@@ -22,12 +28,14 @@ import "fmt"
 // ApplyShardEffects and ResetShard maintain exactly that state and no
 // more.
 
-// ShardNewNode is one node a planned batch creates, with the label of its
-// first mention. Order matters: nodes are created in plan order so slot
-// assignment matches the coordinator's application exactly.
+// ShardNewNode is one node a planned batch creates, with the interned
+// label of its first mention. Order matters: nodes are created in plan
+// order so slot assignment matches the coordinator's application exactly.
+// The LabelID is process-local; effects that crossed a process boundary
+// must carry IDs already translated into the local intern table.
 type ShardNewNode struct {
 	ID    NodeID
-	Label string
+	Label LabelID
 }
 
 // ShardOp is one net edge effect of a planned batch.
@@ -74,34 +82,124 @@ func (e ShardEffects) EdgeDelta(g *Graph) int {
 // between mutations. ok is false when the batch would fail partway; use
 // ValidateBatch for the precise error.
 func (g *Graph) PlanShardEffects(b Batch) ([]ShardEffects, bool) {
-	plan, ok := g.planBatch(b)
+	plan, ok := g.PlanBatch(b)
 	if !ok {
 		return nil, false
 	}
+	defer plan.Release()
 	var out []ShardEffects
-	for si := range g.shards {
-		nodes, ops := plan.nodesByShard[si], plan.opsByShard[si]
-		if len(nodes) == 0 && len(ops) == 0 {
-			continue
-		}
+	for _, si := range plan.TouchedShards() {
 		eff := ShardEffects{Shard: si}
-		if len(nodes) > 0 {
-			eff.NewNodes = make([]ShardNewNode, len(nodes))
-			for i, ni := range nodes {
-				n := plan.newNodes[ni]
-				eff.NewNodes[i] = ShardNewNode{ID: n.v, Label: LabelOf(n.lid)}
-			}
+		if n := plan.NumNewNodes(si); n > 0 {
+			eff.NewNodes = make([]ShardNewNode, 0, n)
+			plan.NewNodes(si, func(id NodeID, lid LabelID) {
+				eff.NewNodes = append(eff.NewNodes, ShardNewNode{ID: id, Label: lid})
+			})
 		}
-		if len(ops) > 0 {
-			eff.Ops = make([]ShardOp, len(ops))
-			for i, oi := range ops {
-				op := plan.ops[oi]
-				eff.Ops[i] = ShardOp{Op: op.op, From: op.e.From, To: op.e.To}
-			}
+		if n := plan.NumOps(si); n > 0 {
+			eff.Ops = make([]ShardOp, 0, n)
+			plan.Ops(si, func(op Op, from, to NodeID) {
+				eff.Ops = append(eff.Ops, ShardOp{Op: op, From: from, To: to})
+			})
 		}
 		out = append(out, eff)
 	}
 	return out, true
+}
+
+// Plan is an exported handle over one validated, shard-partitioned batch
+// plan: the net effects ApplyBatch's parallel path would execute,
+// iterable per shard without materializing intermediate slices. Wire
+// encoders walk it directly into their output buffers — the zero-copy
+// distributed-apply path. A Plan is read-only, valid until the next
+// mutation of the graph it was compiled against, and should be returned
+// to the internal pool with Release when done.
+type Plan struct {
+	g       *Graph
+	bp      *batchPlan
+	touched []int
+}
+
+// PlanBatch validates b against the current graph (the same sequential
+// applicability rule ApplyBatch enforces) and compiles its net effects
+// partitioned by owning shard. Read-only; plans for batches with disjoint
+// TouchedShards may be compiled concurrently between mutations. ok is
+// false when the batch would fail partway; use ValidateBatch for the
+// precise error.
+func (g *Graph) PlanBatch(b Batch) (*Plan, bool) {
+	bp, ok := g.planBatch(b)
+	if !ok {
+		return nil, false
+	}
+	p := planHandlePool.Get().(*Plan)
+	p.g, p.bp = g, bp
+	p.touched = p.touched[:0]
+	for si := range g.shards {
+		if len(bp.nodesByShard[si]) > 0 || len(bp.opsByShard[si]) > 0 {
+			p.touched = append(p.touched, si)
+		}
+	}
+	return p, true
+}
+
+var planHandlePool = sync.Pool{New: func() any { return new(Plan) }}
+
+// Release returns the plan's buffers to the pool. The Plan must not be
+// used afterwards.
+func (p *Plan) Release() {
+	if p.bp != nil {
+		putBatchPlan(p.bp)
+	}
+	p.g, p.bp = nil, nil
+	planHandlePool.Put(p)
+}
+
+// TouchedShards returns the sorted indices of the shards with at least
+// one effect. The slice is owned by the plan.
+func (p *Plan) TouchedShards() []int { return p.touched }
+
+// NumNewNodes returns the number of nodes the plan creates on shard si.
+func (p *Plan) NumNewNodes(si int) int { return len(p.bp.nodesByShard[si]) }
+
+// NumOps returns the number of net edge ops with an endpoint on shard si.
+func (p *Plan) NumOps(si int) int { return len(p.bp.opsByShard[si]) }
+
+// NewNodes calls fn for every node the plan creates on shard si, in plan
+// order (the order phase 1 must allocate slots in).
+func (p *Plan) NewNodes(si int, fn func(id NodeID, lid LabelID)) {
+	for _, ni := range p.bp.nodesByShard[si] {
+		n := p.bp.newNodes[ni]
+		fn(n.v, n.lid)
+	}
+}
+
+// Ops calls fn for every net edge op with an endpoint on shard si, in
+// plan emission order.
+func (p *Plan) Ops(si int, fn func(op Op, from, to NodeID)) {
+	for _, oi := range p.bp.opsByShard[si] {
+		op := p.bp.ops[oi]
+		fn(op.op, op.e.From, op.e.To)
+	}
+}
+
+// EdgeDelta returns the edge-count contribution of shard si, counted on
+// the From side so each edge counts exactly once across shards — the
+// cross-check value for remote phase-1 deltas.
+func (p *Plan) EdgeDelta(si int) int {
+	d := 0
+	u64si := uint64(si)
+	for _, oi := range p.bp.opsByShard[si] {
+		op := p.bp.ops[oi]
+		if p.g.shardIdxOf(op.e.From) != u64si {
+			continue
+		}
+		if op.op == Insert {
+			d++
+		} else {
+			d--
+		}
+	}
+	return d
 }
 
 // ApplyShardEffects is phase 1 for one shard, driven from outside: it
@@ -130,7 +228,7 @@ func (g *Graph) ApplyShardEffects(e ShardEffects) (int, error) {
 		if _, ok := sh.nodes[n.ID]; ok {
 			return 0, fmt.Errorf("graph: ApplyShardEffects: node %d already exists on shard %d", n.ID, e.Shard)
 		}
-		sh.nodes[n.ID] = &node{label: InternLabel(n.Label), slot: sh.allocSlot(p32, si32)}
+		sh.nodes[n.ID] = &node{label: n.Label, slot: sh.allocSlot(p32, si32)}
 	}
 	delta := 0
 	for _, op := range e.Ops {

@@ -69,3 +69,12 @@ func LabelOf(id LabelID) string {
 	}
 	return names[id]
 }
+
+// InternedLabels returns the number of labels interned so far. IDs are
+// issued densely from zero, so every LabelID below the returned count is
+// valid, and the count only grows. A coordinator uses it to ship the label
+// table incrementally: labels [alreadySent, InternedLabels()) are exactly
+// the ones a remote peer has not seen yet. Lock-free.
+func InternedLabels() int {
+	return len(labelTab.names.Load().([]string))
+}

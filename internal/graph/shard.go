@@ -1,8 +1,9 @@
 package graph
 
 import (
+	"math/bits"
 	"runtime"
-	"sort"
+	"sync"
 )
 
 // Sharded node storage. The node space is partitioned into a power-of-two
@@ -257,16 +258,26 @@ func mergeSortedIDs(a, b []NodeID) []NodeID {
 // of b will write. Engines use it as a locality signal (how concentrated
 // ΔG is) when deciding between incremental repair and batch fallback.
 func (b Batch) TouchedShards(g *Graph) []int {
-	seen := make(map[int]struct{}, len(g.shards))
+	// Shard indices fit a fixed 256-bit set (MaxShards), so dedup and sort
+	// cost no map and no sort.Ints — this runs per distributed apply.
+	var set [MaxShards / 64]uint64
 	for _, u := range b {
-		seen[int(g.shardIdxOf(u.From))] = struct{}{}
-		seen[int(g.shardIdxOf(u.To))] = struct{}{}
+		s := g.shardIdxOf(u.From)
+		set[s>>6] |= 1 << (s & 63)
+		s = g.shardIdxOf(u.To)
+		set[s>>6] |= 1 << (s & 63)
 	}
-	out := make([]int, 0, len(seen))
-	for s := range seen {
-		out = append(out, s)
+	n := 0
+	for _, w := range set {
+		n += bits.OnesCount64(w)
 	}
-	sort.Ints(out)
+	out := make([]int, 0, n)
+	for wi, w := range set {
+		for w != 0 {
+			out = append(out, wi<<6|bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
 	return out
 }
 
@@ -292,7 +303,65 @@ type batchPlan struct {
 	// an op appears on both endpoint shards when they differ.
 	nodesByShard [][]int32
 	opsByShard   [][]int32
+	// edges/sts hold every distinct edge the batch touches in first-touch
+	// order with its running validation state; edgeIdx maps an edge to its
+	// index there. Keeping the state in a slice means repeat touches and
+	// the net-op emission pass cost slice reads, not map probes — the maps
+	// are the planner's hot spot (hashing dominates planBatch's profile).
+	// All scratch is retained across pooled reuses (cleared, keeping
+	// buckets/capacity) so planning allocates nothing once the pool warms.
+	edges    []Edge
+	sts      []edgeState
+	edgeIdx  map[Edge]int32
+	newLabel map[NodeID]struct{}
 }
+
+// edgeState tracks one edge's running state during plan validation:
+// whether it currently exists under the in-batch view and whether it
+// existed before the batch.
+type edgeState uint8
+
+const (
+	stCur     edgeState = 1 << iota // exists under the running in-batch view
+	stInitial                       // existed before the batch
+)
+
+// batchPlanPool recycles plans (and their scratch maps) across
+// ApplyBatch/PlanBatch calls; the distributed apply path compiles one plan
+// per commit, so this is a hot allocation site.
+var batchPlanPool sync.Pool
+
+// getBatchPlan returns a cleared plan sized for p shards.
+func getBatchPlan(p int) *batchPlan {
+	plan, _ := batchPlanPool.Get().(*batchPlan)
+	if plan == nil {
+		plan = &batchPlan{
+			edgeIdx:  make(map[Edge]int32, 64),
+			newLabel: make(map[NodeID]struct{}, 64),
+		}
+	}
+	plan.newNodes = plan.newNodes[:0]
+	plan.ops = plan.ops[:0]
+	if cap(plan.nodesByShard) < p {
+		plan.nodesByShard = make([][]int32, p)
+		plan.opsByShard = make([][]int32, p)
+	} else {
+		plan.nodesByShard = plan.nodesByShard[:p]
+		plan.opsByShard = plan.opsByShard[:p]
+	}
+	for i := range plan.nodesByShard {
+		plan.nodesByShard[i] = plan.nodesByShard[i][:0]
+		plan.opsByShard[i] = plan.opsByShard[i][:0]
+	}
+	plan.edges = plan.edges[:0]
+	plan.sts = plan.sts[:0]
+	clear(plan.edgeIdx)
+	clear(plan.newLabel)
+	return plan
+}
+
+// putBatchPlan returns a plan to the pool.
+func putBatchPlan(plan *batchPlan) { batchPlanPool.Put(plan) }
 
 // planBatch validates b against the current graph (the same sequential
 // applicability rule Apply enforces: no insert of an existing edge, no
@@ -301,71 +370,72 @@ type batchPlan struct {
 // ok=false when any update would fail, in which case the caller must take
 // the serial path to reproduce the exact partial application and error.
 func (g *Graph) planBatch(b Batch) (*batchPlan, bool) {
-	p := len(g.shards)
-	plan := &batchPlan{
-		nodesByShard: make([][]int32, p),
-		opsByShard:   make([][]int32, p),
-	}
-	exists := make(map[Edge]bool, len(b))
-	initial := make(map[Edge]bool, len(b))
-	emitted := make(map[Edge]bool, len(b))
-	newLabel := make(map[NodeID]struct{}, 2*len(b))
+	plan := getBatchPlan(len(g.shards))
 	ensure := func(v NodeID, label string) {
 		if g.HasNode(v) {
 			return
 		}
-		if _, ok := newLabel[v]; ok {
+		if _, ok := plan.newLabel[v]; ok {
 			return
 		}
-		newLabel[v] = struct{}{}
+		plan.newLabel[v] = struct{}{}
 		si := g.shardIdxOf(v)
 		plan.nodesByShard[si] = append(plan.nodesByShard[si], int32(len(plan.newNodes)))
 		plan.newNodes = append(plan.newNodes, planNode{v: v, lid: InternLabel(label)})
 	}
 	for _, u := range b {
 		e := u.Edge()
-		cur, seen := exists[e]
-		if !seen {
-			cur = g.HasEdge(u.From, u.To)
-			initial[e] = cur
+		i, seen := plan.edgeIdx[e]
+		var st edgeState
+		if seen {
+			st = plan.sts[i]
+		} else if g.HasEdge(u.From, u.To) {
+			st = stCur | stInitial
 		}
 		switch u.Op {
 		case Insert:
-			if cur {
+			if st&stCur != 0 {
+				putBatchPlan(plan)
 				return nil, false
 			}
 			ensure(u.From, u.FromLabel)
 			ensure(u.To, u.ToLabel)
-			exists[e] = true
+			st |= stCur
 		case Delete:
-			if !cur {
+			if st&stCur == 0 {
+				putBatchPlan(plan)
 				return nil, false
 			}
-			exists[e] = false
+			st &^= stCur
 		default:
+			putBatchPlan(plan)
 			return nil, false
 		}
-	}
-	// Emit net ops in first-touch order (deterministic schedule).
-	for _, u := range b {
-		e := u.Edge()
-		if emitted[e] {
-			continue
+		if seen {
+			plan.sts[i] = st
+		} else {
+			plan.edgeIdx[e] = int32(len(plan.edges))
+			plan.edges = append(plan.edges, e)
+			plan.sts = append(plan.sts, st)
 		}
-		emitted[e] = true
-		if exists[e] == initial[e] {
+	}
+	// Emit net ops in first-touch order (deterministic schedule): one pass
+	// over the distinct-edge slice, no map probes.
+	for i, e := range plan.edges {
+		st := plan.sts[i]
+		if (st&stCur != 0) == (st&stInitial != 0) {
 			continue // cancelled within the batch
 		}
 		op := Delete
-		if exists[e] {
+		if st&stCur != 0 {
 			op = Insert
 		}
-		i := int32(len(plan.ops))
+		oi := int32(len(plan.ops))
 		plan.ops = append(plan.ops, planOp{e: e, op: op})
-		sf, st := g.shardIdxOf(e.From), g.shardIdxOf(e.To)
-		plan.opsByShard[sf] = append(plan.opsByShard[sf], i)
-		if st != sf {
-			plan.opsByShard[st] = append(plan.opsByShard[st], i)
+		sf, st64 := g.shardIdxOf(e.From), g.shardIdxOf(e.To)
+		plan.opsByShard[sf] = append(plan.opsByShard[sf], oi)
+		if st64 != sf {
+			plan.opsByShard[st64] = append(plan.opsByShard[st64], oi)
 		}
 	}
 	return plan, true
@@ -426,6 +496,7 @@ func (g *Graph) applyBatchParallel(plan *batchPlan, workers int) {
 	ParallelFor(workers, p, func(_, si int) {
 		edgeDeltas[si] = g.applyShardPhase(si, plan)
 	})
+	locked := g.mergeLock()
 	for si := 0; si < p; si++ {
 		sh := &g.shards[si]
 		for _, ni := range plan.nodesByShard[si] {
@@ -438,4 +509,5 @@ func (g *Graph) applyBatchParallel(plan *batchPlan, workers int) {
 	}
 	g.refreshSlotCeil()
 	g.gen++
+	g.mergeUnlock(locked)
 }

@@ -149,6 +149,7 @@ func (g *Graph) ApplyBatch(b Batch) error {
 		if workers := g.Parallelism(); workers > 1 {
 			if plan, ok := g.planBatch(b); ok {
 				g.applyBatchParallel(plan, workers)
+				putBatchPlan(plan)
 				return nil
 			}
 		}
